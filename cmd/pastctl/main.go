@@ -1,0 +1,162 @@
+// Command pastctl is a PAST client: it joins an existing network as a
+// (zero-contribution) node and performs insert, get and reclaim
+// operations.
+//
+//	pastctl -join 127.0.0.1:7001 -broker-seed demo -card me.card insert report.pdf
+//	pastctl -join 127.0.0.1:7001 -broker-seed demo get <fileId> -o report.pdf
+//	pastctl -join 127.0.0.1:7001 -broker-seed demo -card me.card reclaim <fileId>
+//
+// The -card file persists the client's smartcard (identity + quota ledger)
+// across invocations; it is created on first use. Reclaim only works with
+// the card that inserted the file (section 2.1 of the paper).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"past"
+	"past/internal/seccrypt"
+)
+
+func main() {
+	var (
+		join       = flag.String("join", "", "address of a PAST node to join via (required)")
+		brokerSeed = flag.String("broker-seed", "", "the network's shared broker seed (required)")
+		cardFile   = flag.String("card", "", "path to the client's persistent smartcard file")
+		quota      = flag.Int64("quota", 1<<30, "quota for a newly created card")
+		k          = flag.Int("k", 3, "replication factor for inserts")
+		out        = flag.String("o", "", "output path for get (default: stdout)")
+	)
+	flag.Parse()
+	args := flag.Args()
+	if *join == "" || *brokerSeed == "" || len(args) < 1 {
+		usage()
+	}
+	broker, err := deriveBroker(*brokerSeed)
+	if err != nil {
+		fatal(err)
+	}
+	card, save, err := loadOrCreateCard(broker, *cardFile, *quota)
+	if err != nil {
+		fatal(err)
+	}
+	// The client joins as a node contributing no storage — per the paper,
+	// nodes "optionally contribute storage" and pure clients need none.
+	scfg := past.DefaultStorageConfig()
+	scfg.K = *k
+	scfg.Capacity = 0
+	scfg.Caching = false
+	peer, err := past.ListenPeer(past.PeerConfig{
+		Card:      card,
+		BrokerPub: broker.PublicKey(),
+		Storage:   scfg,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer peer.Close()
+	if err := peer.Join(*join); err != nil {
+		fatal(fmt.Errorf("join via %s: %w", *join, err))
+	}
+
+	switch args[0] {
+	case "insert":
+		if len(args) != 2 {
+			usage()
+		}
+		data, err := os.ReadFile(args[1])
+		if err != nil {
+			fatal(err)
+		}
+		res, err := peer.Insert(card, filepath.Base(args[1]), data, *k)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("fileId: %s\nreceipts: %d (diverted %d, retries %d)\nremaining quota: %d bytes\n",
+			res.FileID, len(res.Receipts), res.Diverted, res.Retries, card.RemainingQuota())
+	case "get":
+		if len(args) != 2 {
+			usage()
+		}
+		f, err := past.ParseFileID(args[1])
+		if err != nil {
+			fatal(err)
+		}
+		res, err := peer.Lookup(f)
+		if err != nil {
+			fatal(err)
+		}
+		if *out == "" {
+			os.Stdout.Write(res.Data)
+		} else if err := os.WriteFile(*out, res.Data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "retrieved %d bytes in %d hops (cached=%v) from %s\n",
+			len(res.Data), res.Hops, res.Cached, res.From.ID)
+	case "reclaim":
+		if len(args) != 2 {
+			usage()
+		}
+		f, err := past.ParseFileID(args[1])
+		if err != nil {
+			fatal(err)
+		}
+		res, err := peer.Reclaim(card, f)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("freed %d bytes across %d receipts\nremaining quota: %d bytes\n",
+			res.Freed, len(res.Receipts), card.RemainingQuota())
+	default:
+		usage()
+	}
+	if err := save(); err != nil {
+		fatal(err)
+	}
+}
+
+func deriveBroker(seed string) (*past.Broker, error) {
+	h := uint64(1469598103934665603)
+	for _, b := range []byte(seed) {
+		h = (h ^ uint64(b)) * 1099511628211
+	}
+	return seccrypt.NewBroker(seccrypt.DetRand(h))
+}
+
+// loadOrCreateCard returns the client card plus a function persisting its
+// updated quota ledger.
+func loadOrCreateCard(broker *past.Broker, path string, quota int64) (*past.Smartcard, func() error, error) {
+	noSave := func() error { return nil }
+	if path == "" {
+		card, err := broker.IssueCard(quota, 0, 0, nil)
+		return card, noSave, err
+	}
+	if data, err := os.ReadFile(path); err == nil {
+		card, err := seccrypt.ImportCard(data)
+		if err != nil {
+			return nil, nil, fmt.Errorf("card file %s: %w", path, err)
+		}
+		return card, func() error { return os.WriteFile(path, card.Export(), 0o600) }, nil
+	}
+	card, err := broker.IssueCard(quota, 0, 0, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	return card, func() error { return os.WriteFile(path, card.Export(), 0o600) }, nil
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  pastctl -join <addr> -broker-seed <seed> [-card <file>] insert <path>
+  pastctl -join <addr> -broker-seed <seed> get <fileId> [-o <path>]
+  pastctl -join <addr> -broker-seed <seed> -card <file> reclaim <fileId>`)
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "pastctl: %v\n", err)
+	os.Exit(1)
+}

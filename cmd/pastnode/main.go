@@ -1,0 +1,121 @@
+// Command pastnode runs one PAST storage node over TCP.
+//
+// All nodes of a deployment must share the same -broker-seed: the broker
+// key pair is derived deterministically from it, standing in for the real
+// third-party broker of the paper (which would distribute smartcards out
+// of band). Each node then issues itself a card from that broker.
+//
+// Start the first node of a network:
+//
+//	pastnode -listen 127.0.0.1:7001 -broker-seed demo -bootstrap
+//
+// Add more nodes:
+//
+//	pastnode -listen 127.0.0.1:7002 -broker-seed demo -join 127.0.0.1:7001
+//
+// Then use pastctl to insert and fetch files.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"past"
+	"past/internal/seccrypt"
+)
+
+func main() {
+	var (
+		listen     = flag.String("listen", "127.0.0.1:0", "TCP listen address")
+		brokerSeed = flag.String("broker-seed", "", "shared secret all nodes of this network derive the broker from (required)")
+		bootstrap  = flag.Bool("bootstrap", false, "start a brand-new network")
+		join       = flag.String("join", "", "address of an existing node to join via")
+		capacity   = flag.Int64("capacity", 256<<20, "contributed storage in bytes")
+		quota      = flag.Int64("quota", 1<<40, "this node's client usage quota in bytes")
+		k          = flag.Int("k", 3, "default replication factor")
+		status     = flag.Duration("status", 30*time.Second, "status print interval (0 disables)")
+	)
+	flag.Parse()
+	if *brokerSeed == "" {
+		fmt.Fprintln(os.Stderr, "pastnode: -broker-seed is required")
+		os.Exit(2)
+	}
+	if *bootstrap == (*join != "") {
+		fmt.Fprintln(os.Stderr, "pastnode: pass exactly one of -bootstrap or -join")
+		os.Exit(2)
+	}
+	broker, card, err := deriveIdentity(*brokerSeed, *quota, *capacity)
+	if err != nil {
+		fatal(err)
+	}
+	scfg := past.DefaultStorageConfig()
+	scfg.K = *k
+	scfg.Capacity = *capacity
+	peer, err := past.ListenPeer(past.PeerConfig{
+		Listen:    *listen,
+		Card:      card,
+		BrokerPub: broker.PublicKey(),
+		Storage:   scfg,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer peer.Close()
+	fmt.Printf("pastnode: nodeId %s listening on %s\n", peer.Ref().ID, peer.Addr())
+	if *bootstrap {
+		peer.Bootstrap()
+		fmt.Println("pastnode: bootstrapped new PAST network")
+	} else {
+		if err := peer.Join(*join); err != nil {
+			fatal(fmt.Errorf("join via %s: %w", *join, err))
+		}
+		fmt.Printf("pastnode: joined network via %s\n", *join)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	if *status > 0 {
+		ticker := time.NewTicker(*status)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				fmt.Printf("pastnode: storing %d files\n", peer.StoredFiles())
+			case <-sig:
+				fmt.Println("pastnode: shutting down")
+				return
+			}
+		}
+	}
+	<-sig
+	fmt.Println("pastnode: shutting down")
+}
+
+// deriveIdentity derives the shared broker from the seed and issues this
+// node's card. In a real deployment the broker is a third party and cards
+// arrive out of band (section 2.1); the shared seed is the demo stand-in.
+func deriveIdentity(seed string, quota, capacity int64) (*seccrypt.Broker, *seccrypt.Smartcard, error) {
+	h := uint64(1469598103934665603)
+	for _, b := range []byte(seed) {
+		h = (h ^ uint64(b)) * 1099511628211
+	}
+	broker, err := seccrypt.NewBroker(seccrypt.DetRand(h))
+	if err != nil {
+		return nil, nil, err
+	}
+	// The card itself must be unique per process: mix in time and pid.
+	card, err := broker.IssueCard(quota, capacity, 0, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	return broker, card, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "pastnode: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,63 @@
+// Command pastsim regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	pastsim -exp all                 # every experiment, CI scale
+//	pastsim -exp E1,E3 -scale full   # selected experiments, paper scale
+//	pastsim -list                    # show the experiment index
+//
+// Output is plain text, one table per experiment, in the shape of the
+// corresponding figure/table in the paper (see DESIGN.md §3 and
+// EXPERIMENTS.md for the mapping and expected values).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"past/internal/experiments"
+)
+
+func main() {
+	var (
+		expFlag   = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+		scaleFlag = flag.String("scale", "small", "small (seconds) or full (paper scale, minutes)")
+		seedFlag  = flag.Int64("seed", 42, "random seed; identical seeds reproduce identical tables")
+		listFlag  = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *listFlag {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	scale := experiments.Small
+	switch *scaleFlag {
+	case "small":
+	case "full":
+		scale = experiments.Full
+	default:
+		fmt.Fprintf(os.Stderr, "pastsim: unknown scale %q (want small or full)\n", *scaleFlag)
+		os.Exit(2)
+	}
+	ids := experiments.IDs()
+	if *expFlag != "all" {
+		ids = strings.Split(*expFlag, ",")
+	}
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		start := time.Now()
+		res, err := experiments.Run(id, scale, *seedFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pastsim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(res.String())
+		fmt.Printf("(%s in %.1fs)\n\n", id, time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,93 @@
+// Malicious: the fault-tolerance argument of section 2.2. A slice of the
+// network turns malicious — nodes accept messages but silently refuse to
+// forward them. With deterministic routing, a retried lookup keeps taking
+// the same path, so retries recover nothing; with randomized routing the
+// retry probability mass spreads over alternate next hops and blocked
+// lookups eventually route around the attackers ("the query may have to
+// be repeated several times by the client, until a route is chosen that
+// avoids the bad node").
+//
+//	go run ./examples/malicious
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"past"
+)
+
+const (
+	nodes    = 100
+	badFrac  = 0.25
+	lookups  = 80
+	maxTries = 8
+)
+
+func main() {
+	fmt.Printf("%d nodes, %.0f%% malicious (accept but never forward), %d lookups\n",
+		nodes, badFrac*100, lookups)
+	fmt.Printf("%-13s  %-18s  %-18s\n", "routing", "success on try 1", fmt.Sprintf("success within %d", maxTries))
+	for _, randomized := range []bool{false, true} {
+		first, retried := run(randomized)
+		mode := "deterministic"
+		if randomized {
+			mode = "randomized"
+		}
+		fmt.Printf("%-13s  %17.0f%%  %17.0f%%\n", mode, first*100, retried*100)
+	}
+	fmt.Println("\nretries only help when the route is re-randomized — the paper's argument")
+	fmt.Println("for randomized routing against malicious nodes.")
+}
+
+func run(randomized bool) (firstTry, withinRetries float64) {
+	cfg := past.DefaultStorageConfig()
+	cfg.K = 3
+	cfg.Capacity = 32 << 20
+	cfg.Caching = false
+	nw, err := past.NewNetwork(past.NetworkConfig{
+		N: nodes, Seed: 21, Storage: cfg,
+		RandomizedRouting: randomized,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Insert the target files while everyone is still honest.
+	rng := rand.New(rand.NewSource(3))
+	var ids []past.FileID
+	for i := 0; i < 10; i++ {
+		ins, err := nw.Insert(rng.Intn(nodes), nil, fmt.Sprintf("doc-%d", i), make([]byte, 2048), 3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ids = append(ids, ins.FileID)
+	}
+	// Corrupt a fraction of the network.
+	bad := map[int]bool{}
+	for len(bad) < int(badFrac*nodes) {
+		i := rng.Intn(nodes)
+		if !bad[i] {
+			bad[i] = true
+			nw.SetMalicious(i)
+		}
+	}
+	firstOK, eventualOK := 0, 0
+	for i := 0; i < lookups; i++ {
+		client := rng.Intn(nodes)
+		for bad[client] {
+			client = rng.Intn(nodes)
+		}
+		f := ids[i%len(ids)]
+		for try := 1; try <= maxTries; try++ {
+			if _, err := nw.Lookup(client, f); err == nil {
+				if try == 1 {
+					firstOK++
+				}
+				eventualOK++
+				break
+			}
+		}
+	}
+	return float64(firstOK) / float64(lookups), float64(eventualOK) / float64(lookups)
+}

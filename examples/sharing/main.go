@@ -1,0 +1,74 @@
+// Sharing: the paper's content-distribution motivation — "a group of
+// nodes to jointly store or publish content that exceeds the capacity of
+// any individual node", with "additional copies of popular files ...
+// cached in any PAST node to balance query load".
+//
+// A publisher inserts a catalog; many clients then fetch it with a Zipf
+// popularity distribution. The example contrasts fetch hops and cache
+// hits with caching enabled vs disabled.
+//
+//	go run ./examples/sharing
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"past"
+)
+
+const (
+	nodes   = 60
+	files   = 30
+	fetches = 1000
+)
+
+func main() {
+	fmt.Printf("publishing %d files to %d nodes; %d Zipf-distributed fetches\n",
+		files, nodes, fetches)
+	for _, caching := range []bool{true, false} {
+		hits, hops := run(caching)
+		fmt.Printf("caching %-3v  cache-hit rate %.0f%%  avg fetch hops %.2f\n",
+			caching, hits*100, hops)
+	}
+}
+
+func run(caching bool) (hitRate, avgHops float64) {
+	cfg := past.DefaultStorageConfig()
+	cfg.K = 3
+	cfg.Capacity = 32 << 20
+	cfg.Caching = caching
+	nw, err := past.NewNetwork(past.NetworkConfig{N: nodes, Seed: 11, Storage: cfg})
+	if err != nil {
+		log.Fatal(err)
+	}
+	publisher := 0
+	catalog := make([]past.FileID, 0, files)
+	for i := 0; i < files; i++ {
+		data := make([]byte, 8<<10)
+		ins, err := nw.Insert(publisher, nil, fmt.Sprintf("track-%02d.ogg", i), data, 3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		catalog = append(catalog, ins.FileID)
+	}
+	rng := rand.New(rand.NewSource(5))
+	zipf := rand.NewZipf(rng, 1.2, 1, uint64(files-1))
+	hits, total := 0, 0
+	var hopSum float64
+	for i := 0; i < fetches; i++ {
+		f := catalog[zipf.Uint64()]
+		client := rng.Intn(nodes)
+		got, err := nw.Lookup(client, f)
+		if err != nil {
+			log.Fatalf("fetch %d: %v", i, err)
+		}
+		total++
+		if got.Cached {
+			hits++
+		}
+		hopSum += float64(got.Hops)
+	}
+	return float64(hits) / float64(total), hopSum / float64(total)
+}

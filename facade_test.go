@@ -1,0 +1,319 @@
+package past_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"past"
+)
+
+func newNet(t testing.TB, n int, seed int64) *past.Network {
+	t.Helper()
+	cfg := past.DefaultStorageConfig()
+	cfg.K = 3
+	cfg.Capacity = 1 << 20
+	nw, err := past.NewNetwork(past.NetworkConfig{N: n, Seed: seed, Storage: cfg})
+	if err != nil {
+		t.Fatalf("NewNetwork: %v", err)
+	}
+	return nw
+}
+
+func TestNetworkInsertLookupReclaim(t *testing.T) {
+	nw := newNet(t, 20, 1)
+	data := []byte("facade end to end")
+	ins, err := nw.Insert(0, nil, "facade.txt", data, 3)
+	if err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	if len(ins.Receipts) != 3 {
+		t.Fatalf("receipts = %d", len(ins.Receipts))
+	}
+	got, err := nw.Lookup(13, ins.FileID)
+	if err != nil {
+		t.Fatalf("Lookup: %v", err)
+	}
+	if !bytes.Equal(got.Data, data) {
+		t.Fatal("data mismatch")
+	}
+	if len(nw.ReplicaHolders(ins.FileID)) != 3 {
+		t.Fatal("holder count wrong")
+	}
+	rec, err := nw.Reclaim(0, nil, ins.FileID)
+	if err != nil {
+		t.Fatalf("Reclaim: %v", err)
+	}
+	if rec.Freed == 0 {
+		t.Fatal("nothing freed")
+	}
+	// Reclaim frees all replicas, but per section 1 it "does not
+	// guarantee that the file is no longer available": cached copies may
+	// still answer lookups. Assert exactly what the paper promises.
+	if holders := nw.ReplicaHolders(ins.FileID); len(holders) != 0 {
+		t.Fatalf("replicas survive reclaim: %v", holders)
+	}
+	if lr, err := nw.Lookup(13, ins.FileID); err == nil && !lr.Cached {
+		t.Fatal("post-reclaim lookup served from a replica, not a cache")
+	} else if err != nil && !errors.Is(err, past.ErrNotFound) {
+		t.Fatalf("unexpected lookup error: %v", err)
+	}
+}
+
+func TestNetworkValidation(t *testing.T) {
+	if _, err := past.NewNetwork(past.NetworkConfig{N: 0}); err == nil {
+		t.Fatal("N=0 accepted")
+	}
+}
+
+func TestNetworkCrashAndRecovery(t *testing.T) {
+	cfg := past.DefaultStorageConfig()
+	cfg.K = 3
+	cfg.Capacity = 1 << 20
+	nw, err := past.NewNetwork(past.NetworkConfig{
+		N: 24, Seed: 2, Storage: cfg,
+		KeepAlive:   500 * time.Millisecond,
+		FailTimeout: 1500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins, err := nw.Insert(0, nil, "precious", []byte("replicate me"), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	holders := nw.ReplicaHolders(ins.FileID)
+	nw.Crash(holders[0])
+	if _, err := nw.Lookup(7, ins.FileID); err != nil {
+		t.Fatalf("lookup after crash: %v", err)
+	}
+	nw.RunFor(20 * time.Second)
+	if live := len(nw.ReplicaHolders(ins.FileID)); live < 3 {
+		t.Fatalf("re-replication incomplete: %d holders", live)
+	}
+}
+
+func TestNetworkQuota(t *testing.T) {
+	cfg := past.DefaultStorageConfig()
+	cfg.K = 3
+	cfg.Capacity = 1 << 20
+	nw, err := past.NewNetwork(past.NetworkConfig{N: 8, Seed: 3, Storage: cfg, UserQuota: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.Insert(0, nil, "big", make([]byte, 400), 3); !errors.Is(err, past.ErrQuotaExceeded) {
+		t.Fatalf("want quota error, got %v", err)
+	}
+	if _, err := nw.Insert(0, nil, "ok", make([]byte, 300), 3); err != nil {
+		t.Fatalf("within quota failed: %v", err)
+	}
+}
+
+func TestNetworkAudit(t *testing.T) {
+	nw := newNet(t, 16, 4)
+	ins, err := nw.Insert(0, nil, "audited", []byte("content"), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	holders := nw.ReplicaHolders(ins.FileID)
+	if len(holders) < 2 {
+		t.Fatal("need two holders")
+	}
+	ok, err := nw.AuditPeer(holders[0], nw.NodeRef(holders[1]), ins.FileID)
+	if err != nil || !ok {
+		t.Fatalf("audit: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestParseFileID(t *testing.T) {
+	nw := newNet(t, 8, 5)
+	ins, err := nw.Insert(0, nil, "x", []byte("y"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := past.ParseFileID(ins.FileID.String())
+	if err != nil || parsed != ins.FileID {
+		t.Fatalf("round trip failed: %v", err)
+	}
+	if _, err := past.ParseFileID("zz"); err == nil {
+		t.Fatal("bad hex accepted")
+	}
+}
+
+// TestTCPPeersEndToEnd runs a real five-node TCP cluster on loopback and
+// pushes a file through it.
+func TestTCPPeersEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	broker, err := past.NewBroker()
+	if err != nil {
+		t.Fatal(err)
+	}
+	scfg := past.DefaultStorageConfig()
+	scfg.K = 3
+	scfg.Capacity = 1 << 20
+	var peers []*past.Peer
+	for i := 0; i < 5; i++ {
+		card, err := broker.IssueCard(1<<30, scfg.Capacity, 0, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := past.ListenPeer(past.PeerConfig{
+			Card:      card,
+			BrokerPub: broker.PublicKey(),
+			Storage:   scfg,
+			OpTimeout: 10 * time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer p.Close()
+		peers = append(peers, p)
+	}
+	peers[0].Bootstrap()
+	for i := 1; i < 5; i++ {
+		if err := peers[i].Join(peers[0].Addr()); err != nil {
+			t.Fatalf("peer %d join: %v", i, err)
+		}
+	}
+	data := []byte("over real TCP")
+	ins, err := peers[1].Insert(nil, "tcp.txt", data, 3)
+	if err != nil {
+		t.Fatalf("insert: %v", err)
+	}
+	got, err := peers[4].Lookup(ins.FileID)
+	if err != nil {
+		t.Fatalf("lookup: %v", err)
+	}
+	if !bytes.Equal(got.Data, data) {
+		t.Fatal("data mismatch over TCP")
+	}
+	total := 0
+	for _, p := range peers {
+		total += p.StoredFiles()
+	}
+	if total != 3 {
+		t.Fatalf("replicas stored = %d, want 3", total)
+	}
+}
+
+func TestNetworkRestartRecovers(t *testing.T) {
+	cfg := past.DefaultStorageConfig()
+	cfg.K = 3
+	cfg.Capacity = 1 << 20
+	nw, err := past.NewNetwork(past.NetworkConfig{
+		N: 20, Seed: 9, Storage: cfg,
+		KeepAlive:   500 * time.Millisecond,
+		FailTimeout: 1500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins, err := nw.Insert(0, nil, "durable", []byte("comes back"), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := nw.ReplicaHolders(ins.FileID)[0]
+	nw.Crash(victim)
+	nw.RunFor(10 * time.Second) // failure detected, re-replication done
+	nw.Restart(victim)
+	nw.RunFor(10 * time.Second)
+	if nw.Down(victim) {
+		t.Fatal("victim still marked down")
+	}
+	// The recovered node participates again: lookups through it work.
+	if _, err := nw.Lookup(victim, ins.FileID); err != nil {
+		t.Fatalf("lookup via recovered node: %v", err)
+	}
+	// And the file is still at (or above) full replication.
+	if got := len(nw.ReplicaHolders(ins.FileID)); got < 3 {
+		t.Fatalf("replication fell to %d", got)
+	}
+}
+
+func TestNetworkStatsAndCacheStats(t *testing.T) {
+	nw := newNet(t, 16, 10)
+	ins, err := nw.Insert(0, nil, "s", make([]byte, 256), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		nw.Lookup(9, ins.FileID)
+	}
+	primaries := 0
+	var hits uint64
+	for i := 0; i < nw.Len(); i++ {
+		primaries += nw.NodeStats(i).PrimaryStores
+		h, _ := nw.CacheStats(i)
+		hits += h
+	}
+	if primaries != 3 {
+		t.Fatalf("PrimaryStores = %d", primaries)
+	}
+	if hits == 0 {
+		t.Fatal("repeated lookups never hit a cache")
+	}
+}
+
+func TestListenPeerValidation(t *testing.T) {
+	if _, err := past.ListenPeer(past.PeerConfig{}); err == nil {
+		t.Fatal("missing card accepted")
+	}
+}
+
+func TestPeerLookupMissAndReclaimByNonOwner(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	broker, err := past.NewBroker()
+	if err != nil {
+		t.Fatal(err)
+	}
+	scfg := past.DefaultStorageConfig()
+	scfg.K = 2
+	scfg.Capacity = 1 << 20
+	scfg.RequestTimeout = 2 * time.Second
+	mk := func() *past.Peer {
+		card, err := broker.IssueCard(1<<30, scfg.Capacity, 0, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := past.ListenPeer(past.PeerConfig{
+			Card: card, BrokerPub: broker.PublicKey(), Storage: scfg,
+			OpTimeout: 3 * time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { p.Close() })
+		return p
+	}
+	a, b, c := mk(), mk(), mk()
+	a.Bootstrap()
+	if err := b.Join(a.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Join(a.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	// Lookup of a nonexistent file over TCP returns not-found.
+	var missing past.FileID
+	copy(missing[:], bytes.Repeat([]byte{0x42}, len(missing)))
+	if _, err := b.Lookup(missing); !errors.Is(err, past.ErrNotFound) {
+		t.Fatalf("want ErrNotFound, got %v", err)
+	}
+	// Reclaim with the wrong owner's card yields no receipts.
+	ins, err := a.Insert(nil, "owned", []byte("mine"), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Reclaim(nil, ins.FileID); err == nil {
+		t.Fatal("non-owner reclaim over TCP returned receipts")
+	}
+	// The file survives.
+	if _, err := b.Lookup(ins.FileID); err != nil {
+		t.Fatalf("file should survive: %v", err)
+	}
+}

@@ -1,0 +1,152 @@
+// Package chord implements a Chord-style routing baseline for comparison
+// with Pastry, as discussed in the paper's related-work section: Chord
+// "forwards messages based on numerical difference with the destination
+// address" and "makes no explicit effort to achieve good network
+// locality". The hop-count and route-distance experiments use it as the
+// comparison DHT.
+//
+// The implementation covers Chord's routing structure — an m-entry finger
+// table per node (finger[i] = successor(n + 2^i)) plus a successor — built
+// over the same simulated network and topology as the Pastry nodes, so
+// hop counts and proximity penalties are directly comparable. Ring
+// maintenance (stabilization) is not modelled; experiments construct the
+// ring from the known membership, which matches how the baseline numbers
+// in the DHT literature are produced.
+package chord
+
+import (
+	"sort"
+
+	"past/internal/id"
+)
+
+// M is the identifier width in bits (Chord's m); we reuse the 128-bit
+// Pastry node identifier space for comparability.
+const M = id.NodeBits
+
+// Node is a Chord routing node.
+type Node struct {
+	ID id.Node
+	// Index is the owner-assigned dense index (topology node id).
+	Index int
+	// fingers[i] points to successor(ID + 2^i); fingers[0] is the
+	// immediate successor.
+	fingers []ref
+}
+
+type ref struct {
+	id    id.Node
+	index int
+}
+
+// Ring is a fully built Chord ring supporting oracle-free routing
+// simulation.
+type Ring struct {
+	nodes []*Node // sorted by id
+	byID  map[id.Node]*Node
+}
+
+// Build constructs a ring from (id, index) pairs and fills every finger
+// table.
+func Build(ids []id.Node, indexes []int) *Ring {
+	if len(ids) != len(indexes) {
+		panic("chord: ids and indexes length mismatch")
+	}
+	r := &Ring{byID: make(map[id.Node]*Node, len(ids))}
+	for i := range ids {
+		n := &Node{ID: ids[i], Index: indexes[i]}
+		r.nodes = append(r.nodes, n)
+		r.byID[n.ID] = n
+	}
+	sort.Slice(r.nodes, func(a, b int) bool { return r.nodes[a].ID.Less(r.nodes[b].ID) })
+	for _, n := range r.nodes {
+		n.fingers = make([]ref, M)
+		for i := 0; i < M; i++ {
+			target := n.ID.Add(pow2(i))
+			s := r.successor(target)
+			n.fingers[i] = ref{id: s.ID, index: s.Index}
+		}
+	}
+	return r
+}
+
+// pow2 returns 2^i as a 128-bit identifier.
+func pow2(i int) id.Node {
+	var n id.Node
+	byteIdx := id.NodeBytes - 1 - i/8
+	n[byteIdx] = 1 << (i % 8)
+	return n
+}
+
+// successor returns the first node whose id is >= target on the ring.
+func (r *Ring) successor(target id.Node) *Node {
+	i := sort.Search(len(r.nodes), func(i int) bool {
+		return !r.nodes[i].ID.Less(target)
+	})
+	return r.nodes[i%len(r.nodes)]
+}
+
+// Len returns the ring size.
+func (r *Ring) Len() int { return len(r.nodes) }
+
+// Nodes returns the ring membership sorted by id.
+func (r *Ring) Nodes() []*Node { return r.nodes }
+
+// Route simulates Chord's greedy routing from the node `from` toward key:
+// at each step the message moves to the finger that most closely precedes
+// the key, terminating at the key's successor. It returns the hop
+// sequence's node indexes (excluding the origin, including the final
+// node). dist accumulates a caller-supplied proximity metric.
+func (r *Ring) Route(from *Node, key id.Node, proximity func(a, b int) float64) (hops int, distance float64, final *Node) {
+	cur := from
+	dest := r.successor(key)
+	for cur != dest {
+		next := r.closestPreceding(cur, key)
+		if next == cur {
+			// No finger precedes the key: take the successor.
+			next = r.byID[cur.fingers[0].id]
+		}
+		if proximity != nil {
+			distance += proximity(cur.Index, next.Index)
+		}
+		hops++
+		cur = next
+		if hops > 4*M {
+			break // defensive: should never happen on a valid ring
+		}
+	}
+	return hops, distance, cur
+}
+
+// closestPreceding returns the finger that most closely precedes key,
+// strictly between cur and key on the ring; cur itself when none does.
+func (r *Ring) closestPreceding(cur *Node, key id.Node) *Node {
+	for i := M - 1; i >= 0; i-- {
+		f := cur.fingers[i]
+		if inOpenInterval(f.id, cur.ID, key) {
+			return r.byID[f.id]
+		}
+	}
+	return cur
+}
+
+// inOpenInterval reports x ∈ (a, b) on the ring.
+func inOpenInterval(x, a, b id.Node) bool {
+	if x == a || x == b {
+		return false
+	}
+	return id.Between(x, a, b)
+}
+
+// Successor exposes the ring successor of a key (the node that owns it).
+func (r *Ring) Successor(key id.Node) *Node { return r.successor(key) }
+
+// FingerCount returns the number of distinct nodes in a node's finger
+// table, the Chord state-size metric compared against Pastry's table size.
+func (n *Node) FingerCount() int {
+	seen := make(map[id.Node]bool, M)
+	for _, f := range n.fingers {
+		seen[f.id] = true
+	}
+	return len(seen)
+}

@@ -1,0 +1,144 @@
+package chord
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"past/internal/id"
+)
+
+func buildRing(n int, seed int64) *Ring {
+	ids := make([]id.Node, n)
+	idx := make([]int, n)
+	rng := rand.New(rand.NewSource(seed))
+	for i := range ids {
+		ids[i] = id.Rand(rng.Uint64())
+		idx[i] = i
+	}
+	return Build(ids, idx)
+}
+
+func TestPow2(t *testing.T) {
+	one := pow2(0)
+	if one.Digit(id.NumDigits(4)-1, 4) != 1 {
+		t.Fatal("2^0 wrong")
+	}
+	x := pow2(127)
+	if x[0] != 0x80 {
+		t.Fatal("2^127 wrong")
+	}
+	if pow2(8)[id.NodeBytes-2] != 1 {
+		t.Fatal("2^8 wrong")
+	}
+}
+
+func TestSuccessorWraps(t *testing.T) {
+	r := buildRing(32, 1)
+	nodes := r.Nodes()
+	// A key just above the largest node wraps to the smallest.
+	largest := nodes[len(nodes)-1].ID
+	key := largest.Add(pow2(0))
+	if r.Successor(key) != nodes[0] {
+		t.Fatal("successor did not wrap")
+	}
+	// A key equal to a node id maps to that node.
+	if r.Successor(nodes[5].ID) != nodes[5] {
+		t.Fatal("successor of own id should be self")
+	}
+}
+
+func TestRouteReachesSuccessor(t *testing.T) {
+	r := buildRing(128, 2)
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		key := id.Rand(rng.Uint64())
+		from := r.Nodes()[rng.Intn(r.Len())]
+		hops, _, final := r.Route(from, key, nil)
+		if final != r.Successor(key) {
+			t.Fatalf("trial %d: route ended at wrong node", trial)
+		}
+		if hops > 2*int(math.Log2(float64(r.Len())))+4 {
+			t.Fatalf("trial %d: %d hops is not O(log n)", trial, hops)
+		}
+	}
+}
+
+func TestRouteFromOwnKeyZeroHops(t *testing.T) {
+	r := buildRing(16, 4)
+	n := r.Nodes()[3]
+	hops, dist, final := r.Route(n, n.ID, nil)
+	if hops != 0 || dist != 0 || final != n {
+		t.Fatalf("self-route: hops=%d dist=%f", hops, dist)
+	}
+}
+
+func TestRouteHopsLogarithmic(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	avg := func(n int) float64 {
+		r := buildRing(n, 6)
+		total := 0
+		const trials = 400
+		for i := 0; i < trials; i++ {
+			key := id.Rand(rng.Uint64())
+			from := r.Nodes()[rng.Intn(r.Len())]
+			h, _, _ := r.Route(from, key, nil)
+			total += h
+		}
+		return float64(total) / trials
+	}
+	small := avg(64)
+	big := avg(1024)
+	// Chord averages ~0.5*log2(N); quadrupling... 16x nodes adds ~2 hops.
+	if big-small > 4 || big < small {
+		t.Fatalf("hops did not grow logarithmically: %f -> %f", small, big)
+	}
+	if big >= 0.5*math.Log2(1024)+2.5 {
+		t.Fatalf("chord hops %f far above theory", big)
+	}
+}
+
+func TestRouteAccumulatesDistance(t *testing.T) {
+	r := buildRing(64, 7)
+	rng := rand.New(rand.NewSource(8))
+	prox := func(a, b int) float64 { return 1 }
+	key := id.Rand(rng.Uint64())
+	from := r.Nodes()[0]
+	hops, dist, _ := r.Route(from, key, prox)
+	if float64(hops) != dist {
+		t.Fatalf("unit proximity: dist %f != hops %d", dist, hops)
+	}
+}
+
+func TestFingerCount(t *testing.T) {
+	r := buildRing(256, 9)
+	for _, n := range r.Nodes()[:8] {
+		fc := n.FingerCount()
+		// Chord theory: ~log2(N) distinct fingers.
+		if fc < 4 || fc > 2*int(math.Log2(256))+4 {
+			t.Fatalf("finger count %d implausible for n=256", fc)
+		}
+	}
+}
+
+func TestBuildValidatesInput(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched input should panic")
+		}
+	}()
+	Build(make([]id.Node, 2), make([]int, 3))
+}
+
+func BenchmarkChordRoute(b *testing.B) {
+	r := buildRing(1024, 10)
+	rng := rand.New(rand.NewSource(11))
+	keys := make([]id.Node, 256)
+	for i := range keys {
+		keys[i] = id.Rand(rng.Uint64())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Route(r.Nodes()[i%r.Len()], keys[i%256], nil)
+	}
+}

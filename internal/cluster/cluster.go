@@ -1,0 +1,314 @@
+// Package cluster assembles simulated PAST networks: a topology, a
+// discrete-event network, and N Pastry nodes built by running the real
+// join protocol sequentially. Tests, benchmarks and the experiment harness
+// all build networks through this package so they exercise identical code.
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"past/internal/id"
+	"past/internal/pastry"
+	"past/internal/simnet"
+	"past/internal/topology"
+	"past/internal/wire"
+)
+
+// Options configures a cluster build.
+type Options struct {
+	// N is the number of nodes.
+	N int
+	// Pastry holds the per-node protocol parameters.
+	Pastry pastry.Config
+	// Seed drives node ids, topology and the simulator.
+	Seed int64
+	// Net tunes the simulated network; the Seed field is overridden.
+	Net simnet.Config
+	// Topology generates the proximity metric; zero value uses
+	// topology.DefaultConfig(Seed).
+	Topology topology.Config
+	// SampleSize bounds the number of candidate bootstrap nodes examined
+	// to find a proximally "nearby node A" for each join. Zero means 32.
+	SampleSize int
+	// AppFactory, when non-nil, builds the application layer for node i.
+	// It runs after the pastry node is constructed and before it joins.
+	AppFactory func(i int, nd *pastry.Node, ep *simnet.Endpoint) pastry.App
+	// NodeID, when non-nil, overrides the identifier for node i
+	// (PAST harnesses derive ids from smartcards).
+	NodeID func(i int) id.Node
+}
+
+// Cluster is a built network.
+type Cluster struct {
+	Opts  Options
+	Net   *simnet.Net
+	Topo  *topology.Topology
+	Nodes []*pastry.Node
+	Eps   []*simnet.Endpoint
+	Apps  []pastry.App
+
+	rng    *rand.Rand
+	sorted []wire.NodeRef // all refs sorted by id, for oracle queries
+	down   map[int]bool
+}
+
+// Build constructs and joins an N-node network. It returns an error if any
+// join fails to complete.
+func Build(opts Options) (*Cluster, error) {
+	if opts.N <= 0 {
+		return nil, fmt.Errorf("cluster: need at least one node")
+	}
+	if opts.SampleSize <= 0 {
+		opts.SampleSize = 32
+	}
+	if opts.Topology.Transits == 0 {
+		opts.Topology = topology.DefaultConfig(opts.Seed)
+	}
+	topo, err := topology.New(opts.Topology)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	netCfg := opts.Net
+	netCfg.Seed = opts.Seed + 1
+	net := simnet.New(netCfg, topo.Distance)
+
+	c := &Cluster{
+		Opts: opts,
+		Net:  net,
+		Topo: topo,
+		rng:  rand.New(rand.NewSource(opts.Seed + 2)),
+		down: make(map[int]bool),
+	}
+	for i := 0; i < opts.N; i++ {
+		if err := c.addNode(i); err != nil {
+			return nil, err
+		}
+	}
+	c.rebuildOracle()
+	return c, nil
+}
+
+func (c *Cluster) addNode(i int) error {
+	c.Topo.Place()
+	ep := c.Net.NewEndpoint()
+	nid := id.Rand(uint64(c.Opts.Seed)<<20 + uint64(i))
+	if c.Opts.NodeID != nil {
+		nid = c.Opts.NodeID(i)
+	}
+	pcfg := c.Opts.Pastry
+	pcfg.Seed = c.Opts.Seed + int64(i)*7919
+	nd := pastry.New(pcfg, nid, ep, c.Net.Clock(), nil)
+	var app pastry.App
+	if c.Opts.AppFactory != nil {
+		app = c.Opts.AppFactory(i, nd, ep)
+		nd.SetApp(app)
+	}
+	c.Nodes = append(c.Nodes, nd)
+	c.Eps = append(c.Eps, ep)
+	c.Apps = append(c.Apps, app)
+
+	if i == 0 {
+		nd.Bootstrap()
+		return nil
+	}
+	seed := c.nearbyNode(i)
+	joinErr := error(nil)
+	done := false
+	nd.Join(simnet.Addr(seed), func(err error) {
+		joinErr = err
+		done = true
+	})
+	if !c.Net.RunUntil(func() bool { return done }, 100_000_000) {
+		return fmt.Errorf("cluster: join of node %d did not complete", i)
+	}
+	if joinErr != nil {
+		return fmt.Errorf("cluster: join of node %d: %w", i, joinErr)
+	}
+	// Drain the announce traffic before the next join so state converges
+	// deterministically, as the sequential-join methodology of the Pastry
+	// paper assumes. With keep-alives enabled the network never goes
+	// idle, so drain a bounded slice of virtual time instead.
+	if c.Opts.Pastry.KeepAlive > 0 {
+		c.Net.RunFor(c.Opts.Pastry.KeepAlive / 4)
+	} else {
+		c.Net.RunUntilIdle()
+	}
+	return nil
+}
+
+// nearbyNode samples already-joined nodes and returns the proximally
+// closest, playing the role of the "nearby node A" the paper's join
+// protocol assumes a new node can locate.
+func (c *Cluster) nearbyNode(joining int) int {
+	best := -1
+	bestD := 0.0
+	tries := c.Opts.SampleSize
+	if tries > joining {
+		tries = joining
+	}
+	for t := 0; t < tries; t++ {
+		cand := c.rng.Intn(joining)
+		if c.down[cand] {
+			continue
+		}
+		d := c.Topo.Distance(joining, cand)
+		if best == -1 || d < bestD {
+			best = cand
+			bestD = d
+		}
+	}
+	if best == -1 {
+		best = 0
+	}
+	return best
+}
+
+func (c *Cluster) rebuildOracle() {
+	c.sorted = c.sorted[:0]
+	for i, nd := range c.Nodes {
+		if c.down[i] {
+			continue
+		}
+		c.sorted = append(c.sorted, nd.Ref())
+	}
+	sort.Slice(c.sorted, func(a, b int) bool {
+		return c.sorted[a].ID.Less(c.sorted[b].ID)
+	})
+}
+
+// NumericallyClosest returns the live node whose id is numerically closest
+// to key — the ground truth Pastry routing must reach ("the node whose
+// nodeId is numerically closest ... among all live nodes").
+func (c *Cluster) NumericallyClosest(key id.Node) wire.NodeRef {
+	if len(c.sorted) == 0 {
+		return wire.NodeRef{}
+	}
+	i := sort.Search(len(c.sorted), func(i int) bool {
+		return !c.sorted[i].ID.Less(key)
+	})
+	best := c.sorted[i%len(c.sorted)]
+	for _, j := range []int{i - 1, i, i + 1} {
+		cand := c.sorted[(j+len(c.sorted))%len(c.sorted)]
+		if id.Closer(key, cand.ID, best.ID) {
+			best = cand
+		}
+	}
+	return best
+}
+
+// KClosest returns the k live nodes numerically closest to key, the
+// replica set of a fileId.
+func (c *Cluster) KClosest(key id.Node, k int) []wire.NodeRef {
+	if k > len(c.sorted) {
+		k = len(c.sorted)
+	}
+	i := sort.Search(len(c.sorted), func(i int) bool {
+		return !c.sorted[i].ID.Less(key)
+	})
+	type cand struct {
+		ref  wire.NodeRef
+		dist id.Node
+	}
+	// Collect a window of 2k+2 around the insertion point and sort by
+	// ring distance.
+	var cands []cand
+	for j := i - k - 1; j <= i+k; j++ {
+		r := c.sorted[(j%len(c.sorted)+len(c.sorted))%len(c.sorted)]
+		cands = append(cands, cand{r, r.ID.Dist(key)})
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].dist.Cmp(cands[b].dist) != 0 {
+			return cands[a].dist.Cmp(cands[b].dist) < 0
+		}
+		return cands[a].ref.ID.Less(cands[b].ref.ID)
+	})
+	out := make([]wire.NodeRef, 0, k)
+	seen := make(map[id.Node]bool, k)
+	for _, cd := range cands {
+		if seen[cd.ref.ID] {
+			continue
+		}
+		seen[cd.ref.ID] = true
+		out = append(out, cd.ref)
+		if len(out) == k {
+			break
+		}
+	}
+	return out
+}
+
+// IndexByID maps a node id back to its cluster index.
+func (c *Cluster) IndexByID(n id.Node) int {
+	for i, nd := range c.Nodes {
+		if nd.ID() == n {
+			return i
+		}
+	}
+	return -1
+}
+
+// Crash silently removes node i from the network (endpoint down, pastry
+// node marked left) and refreshes the oracle.
+func (c *Cluster) Crash(i int) {
+	c.Eps[i].Crash()
+	c.Nodes[i].Leave()
+	c.down[i] = true
+	c.rebuildOracle()
+}
+
+// Restart brings a crashed node back: its endpoint accepts traffic again
+// and the node runs the recovery protocol of section 2.2 against its last
+// known leaf set.
+func (c *Cluster) Restart(i int) {
+	if !c.down[i] {
+		return
+	}
+	c.Eps[i].Restart()
+	delete(c.down, i)
+	c.Nodes[i].Recover()
+	c.rebuildOracle()
+}
+
+// Down reports whether node i has been crashed.
+func (c *Cluster) Down(i int) bool { return c.down[i] }
+
+// LiveCount returns the number of live nodes.
+func (c *Cluster) LiveCount() int { return len(c.sorted) }
+
+// EnableProbes installs transport-level reachability detection on every
+// node: forwarding to a crashed node fails immediately, and the sender
+// routes around it and repairs its state (as a TCP deployment would).
+func (c *Cluster) EnableProbes() {
+	for i, nd := range c.Nodes {
+		if c.down[i] {
+			continue
+		}
+		nd.SetProbe(func(addr string) bool {
+			idx, err := simnet.Index(addr)
+			if err != nil || idx >= len(c.Eps) {
+				return false
+			}
+			return c.Eps[idx].Up()
+		})
+	}
+}
+
+// RandomLiveNode returns the index of a uniformly random live node.
+func (c *Cluster) RandomLiveNode() int {
+	for {
+		i := c.rng.Intn(len(c.Nodes))
+		if !c.down[i] {
+			return i
+		}
+	}
+}
+
+// Rand exposes the cluster's deterministic random stream.
+func (c *Cluster) Rand() *rand.Rand { return c.rng }
+
+// RunSettle processes events for the given virtual duration, letting
+// keep-alive and repair traffic run.
+func (c *Cluster) RunSettle(d time.Duration) { c.Net.RunFor(d) }

@@ -1,0 +1,126 @@
+package cluster
+
+import (
+	"testing"
+
+	"past/internal/id"
+	"past/internal/pastry"
+)
+
+func build(t *testing.T, n int, seed int64) (*Cluster, []*Recorder) {
+	t.Helper()
+	factory, recs := RecorderFactory(n)
+	c, err := Build(Options{N: n, Pastry: pastry.DefaultConfig(), Seed: seed, AppFactory: factory})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return c, recs
+}
+
+func TestBuildValidates(t *testing.T) {
+	if _, err := Build(Options{N: 0}); err == nil {
+		t.Fatal("N=0 accepted")
+	}
+}
+
+func TestOracleNumericallyClosest(t *testing.T) {
+	c, _ := build(t, 32, 1)
+	for trial := 0; trial < 100; trial++ {
+		key := id.Rand(uint64(trial) + 999)
+		want := c.NumericallyClosest(key)
+		// Brute force over all nodes.
+		best := c.Nodes[0].Ref()
+		for _, nd := range c.Nodes[1:] {
+			if id.Closer(key, nd.ID(), best.ID) {
+				best = nd.Ref()
+			}
+		}
+		if want.ID != best.ID {
+			t.Fatalf("oracle %s != brute force %s", want.ID.Short(), best.ID.Short())
+		}
+	}
+}
+
+func TestOracleKClosest(t *testing.T) {
+	c, _ := build(t, 24, 2)
+	key := id.Rand(5)
+	got := c.KClosest(key, 4)
+	if len(got) != 4 {
+		t.Fatalf("len = %d", len(got))
+	}
+	// Each returned node must be at least as close as every excluded node.
+	excluded := make(map[id.Node]bool)
+	for _, nd := range c.Nodes {
+		excluded[nd.ID()] = true
+	}
+	for _, g := range got {
+		delete(excluded, g.ID)
+	}
+	worst := got[len(got)-1].ID
+	for ex := range excluded {
+		if id.Closer(key, ex, worst) {
+			t.Fatalf("excluded node %s closer than included %s", ex.Short(), worst.Short())
+		}
+	}
+	// Ordered closest-first and deduplicated.
+	for i := 1; i < len(got); i++ {
+		if id.Closer(key, got[i].ID, got[i-1].ID) {
+			t.Fatal("KClosest not ordered")
+		}
+		if got[i].ID == got[i-1].ID {
+			t.Fatal("KClosest duplicated")
+		}
+	}
+}
+
+func TestCrashUpdatesOracle(t *testing.T) {
+	c, _ := build(t, 16, 3)
+	victim := 5
+	victimID := c.Nodes[victim].ID()
+	key := victimID // exact key: victim is trivially closest while alive
+	if c.NumericallyClosest(key).ID != victimID {
+		t.Fatal("setup: victim should be closest to own id")
+	}
+	c.Crash(victim)
+	if !c.Down(victim) {
+		t.Fatal("Down not set")
+	}
+	if c.LiveCount() != 15 {
+		t.Fatalf("LiveCount = %d", c.LiveCount())
+	}
+	if c.NumericallyClosest(key).ID == victimID {
+		t.Fatal("oracle still returns crashed node")
+	}
+	if got := c.IndexByID(victimID); got != victim {
+		t.Fatalf("IndexByID = %d", got)
+	}
+	if c.IndexByID(id.Rand(424242)) != -1 {
+		t.Fatal("IndexByID hallucinated")
+	}
+}
+
+func TestRandomLiveNodeSkipsCrashed(t *testing.T) {
+	c, _ := build(t, 8, 4)
+	for i := 1; i < 8; i++ {
+		c.Crash(i)
+	}
+	for trial := 0; trial < 20; trial++ {
+		if c.RandomLiveNode() != 0 {
+			t.Fatal("returned crashed node")
+		}
+	}
+}
+
+func TestRecorderObservesDeliveries(t *testing.T) {
+	c, recs := build(t, 8, 5)
+	key := id.Rand(77)
+	c.Nodes[0].Route(key, ProbeMsg{Seq: 1})
+	c.Net.RunUntilIdle()
+	total := 0
+	for _, r := range recs {
+		total += len(r.Deliveries)
+	}
+	if total != 1 {
+		t.Fatalf("deliveries = %d, want 1", total)
+	}
+}

@@ -1,0 +1,52 @@
+package cluster
+
+import (
+	"past/internal/pastry"
+	"past/internal/simnet"
+	"past/internal/wire"
+)
+
+// Delivery records one routed message reaching its destination node.
+type Delivery struct {
+	NodeIndex int
+	Routed    wire.Routed
+}
+
+// Recorder is a pastry.App that records deliveries; routing tests and the
+// hop-count experiments use it as the application layer.
+type Recorder struct {
+	pastry.NopApp
+	Index      int
+	Deliveries []Delivery
+	// OnDeliver, if set, observes each delivery as it happens.
+	OnDeliver func(d Delivery)
+}
+
+// Deliver implements pastry.App.
+func (r *Recorder) Deliver(m wire.Routed, from wire.NodeRef) {
+	d := Delivery{NodeIndex: r.Index, Routed: m}
+	r.Deliveries = append(r.Deliveries, d)
+	if r.OnDeliver != nil {
+		r.OnDeliver(d)
+	}
+}
+
+// RecorderFactory builds one Recorder per node and returns both the
+// factory (for Options.AppFactory) and the slice that will hold them.
+func RecorderFactory(n int) (func(i int, nd *pastry.Node, ep *simnet.Endpoint) pastry.App, []*Recorder) {
+	recs := make([]*Recorder, n)
+	f := func(i int, nd *pastry.Node, ep *simnet.Endpoint) pastry.App {
+		r := &Recorder{Index: i}
+		recs[i] = r
+		return r
+	}
+	return f, recs
+}
+
+// ProbeMsg is a routed test payload.
+type ProbeMsg struct {
+	Seq uint64
+}
+
+// Kind implements wire.Msg.
+func (ProbeMsg) Kind() string { return "probe" }

@@ -1,0 +1,247 @@
+// Package experiments reproduces every quantitative claim of the PAST
+// paper (and the companion-paper results it quotes) as runnable
+// experiments. Each experiment builds a simulated network through
+// package cluster, drives a workload, and returns a table shaped like the
+// corresponding figure or table in the paper. cmd/pastsim prints them;
+// the repository-root benchmarks run them at reduced scale.
+//
+// See DESIGN.md §3 for the experiment index and EXPERIMENTS.md for
+// paper-vs-measured results.
+package experiments
+
+import (
+	"fmt"
+
+	"past/internal/cluster"
+	"past/internal/id"
+	"past/internal/metrics"
+	"past/internal/past"
+	"past/internal/pastry"
+	"past/internal/seccrypt"
+	"past/internal/simnet"
+)
+
+// Scale selects experiment sizing.
+type Scale int
+
+// Scales: Small finishes in seconds (CI, benchmarks); Full approaches the
+// paper's network sizes and runs for minutes.
+const (
+	Small Scale = iota
+	Full
+)
+
+// Result is one reproduced table/figure.
+type Result struct {
+	ID         string
+	Title      string
+	PaperClaim string
+	Table      *metrics.Table
+	Notes      []string
+}
+
+// String renders the result for terminal output.
+func (r Result) String() string {
+	s := fmt.Sprintf("== %s: %s ==\npaper: %s\n\n%s", r.ID, r.Title, r.PaperClaim, r.Table.String())
+	for _, n := range r.Notes {
+		s += "note: " + n + "\n"
+	}
+	return s
+}
+
+// Runner executes one experiment.
+type Runner func(scale Scale, seed int64) Result
+
+// Registry maps experiment ids to runners, in presentation order.
+var registry = []struct {
+	id  string
+	run Runner
+}{
+	{"E1", E1RoutingHops},
+	{"E2", E2HopDistribution},
+	{"E3", E3Locality},
+	{"E4", E4ReplicaProximity},
+	{"E5", E5FailureRouting},
+	{"E6", E6TableSize},
+	{"E7", E7JoinCost},
+	{"E8", E8Utilization},
+	{"E9", E9RejectionBias},
+	{"E10", E10Caching},
+	{"E11", E11MaliciousRouting},
+	{"E12", E12Quota},
+	{"E13", E13ChordComparison},
+	{"E14", E14ReplicaDiversity},
+	{"A1", A1ParameterAblation},
+	{"A2", A2DiversionAblation},
+}
+
+// IDs lists all experiment identifiers in order.
+func IDs() []string {
+	out := make([]string, len(registry))
+	for i, e := range registry {
+		out[i] = e.id
+	}
+	return out
+}
+
+// Run executes the experiment with the given id.
+func Run(idStr string, scale Scale, seed int64) (Result, error) {
+	for _, e := range registry {
+		if e.id == idStr {
+			return e.run(scale, seed), nil
+		}
+	}
+	return Result{}, fmt.Errorf("experiments: unknown experiment %q (have %v)", idStr, IDs())
+}
+
+// ---------------------------------------------------------------------------
+// Shared harness helpers
+
+// routingCluster builds an N-node overlay with recorder apps.
+func routingCluster(n int, seed int64, mut func(*cluster.Options)) (*cluster.Cluster, []*cluster.Recorder, error) {
+	factory, recs := cluster.RecorderFactory(n)
+	opts := cluster.Options{
+		N:          n,
+		Pastry:     pastry.DefaultConfig(),
+		Seed:       seed,
+		AppFactory: factory,
+	}
+	if mut != nil {
+		mut(&opts)
+	}
+	c, err := cluster.Build(opts)
+	return c, recs, err
+}
+
+// mustRoutingCluster panics on build failure (experiments are programs,
+// not servers; a failed build is a bug).
+func mustRoutingCluster(n int, seed int64, mut func(*cluster.Options)) (*cluster.Cluster, []*cluster.Recorder) {
+	c, recs, err := routingCluster(n, seed, mut)
+	if err != nil {
+		panic(err)
+	}
+	return c, recs
+}
+
+// probeRoute sends one probe and waits for delivery; returns ok=false on
+// loss.
+func probeRoute(c *cluster.Cluster, recs []*cluster.Recorder, from int, key id.Node, seq uint64) (cluster.Delivery, bool) {
+	var got *cluster.Delivery
+	for _, r := range recs {
+		if r == nil {
+			continue
+		}
+		r.OnDeliver = func(d cluster.Delivery) {
+			if p, ok := d.Routed.Payload.(cluster.ProbeMsg); ok && p.Seq == seq {
+				got = &d
+			}
+		}
+	}
+	c.Nodes[from].Route(key, cluster.ProbeMsg{Seq: seq})
+	c.Net.RunUntil(func() bool { return got != nil }, 10_000_000)
+	for _, r := range recs {
+		if r != nil {
+			r.OnDeliver = nil
+		}
+	}
+	if got == nil {
+		return cluster.Delivery{}, false
+	}
+	return *got, true
+}
+
+// pastCluster bundles PAST nodes with their smartcards.
+type pastCluster struct {
+	*cluster.Cluster
+	Broker *seccrypt.Broker
+	Cards  []*seccrypt.Smartcard
+	PAST   []*past.Node
+}
+
+// buildPAST constructs a PAST network. capacities may be nil (uniform
+// cfg.Capacity) or provide per-node capacities.
+func buildPAST(n int, seed int64, cfg past.Config, capacities func(i int) int64, mut func(*cluster.Options)) (*pastCluster, error) {
+	broker, err := seccrypt.NewBroker(seccrypt.DetRand(uint64(seed) + 1))
+	if err != nil {
+		return nil, err
+	}
+	cards := make([]*seccrypt.Smartcard, n)
+	caps := make([]int64, n)
+	for i := range cards {
+		caps[i] = cfg.Capacity
+		if capacities != nil {
+			caps[i] = capacities(i)
+		}
+		cards[i], err = broker.IssueCard(1<<50, caps[i], 0, seccrypt.DetRand(uint64(seed)<<20+uint64(i)+7))
+		if err != nil {
+			return nil, err
+		}
+	}
+	pnodes := make([]*past.Node, n)
+	opts := cluster.Options{
+		N:      n,
+		Pastry: pastry.DefaultConfig(),
+		Seed:   seed,
+		NodeID: func(i int) id.Node { return cards[i].NodeID() },
+		AppFactory: func(i int, nd *pastry.Node, ep *simnet.Endpoint) pastry.App {
+			nodeCfg := cfg
+			nodeCfg.Capacity = caps[i]
+			pnodes[i] = past.NewNode(nodeCfg, nd, cards[i], broker.PublicKey())
+			return pnodes[i]
+		},
+	}
+	if mut != nil {
+		mut(&opts)
+	}
+	c, err := cluster.Build(opts)
+	if err != nil {
+		return nil, err
+	}
+	return &pastCluster{Cluster: c, Broker: broker, Cards: cards, PAST: pnodes}, nil
+}
+
+func mustPAST(n int, seed int64, cfg past.Config, capacities func(i int) int64, mut func(*cluster.Options)) *pastCluster {
+	pc, err := buildPAST(n, seed, cfg, capacities, mut)
+	if err != nil {
+		panic(err)
+	}
+	return pc
+}
+
+// insert runs one synchronous insert.
+func (pc *pastCluster) insert(node int, card *seccrypt.Smartcard, name string, data []byte, k int) past.InsertResult {
+	var res *past.InsertResult
+	pc.PAST[node].Insert(card, name, data, k, func(r past.InsertResult) { res = &r })
+	pc.Net.RunUntil(func() bool { return res != nil }, 50_000_000)
+	if res == nil {
+		return past.InsertResult{Err: past.ErrTimeout}
+	}
+	return *res
+}
+
+// lookup runs one synchronous lookup.
+func (pc *pastCluster) lookup(node int, f id.File) past.LookupResult {
+	var res *past.LookupResult
+	pc.PAST[node].Lookup(f, func(r past.LookupResult) { res = &r })
+	pc.Net.RunUntil(func() bool { return res != nil }, 50_000_000)
+	if res == nil {
+		return past.LookupResult{Err: past.ErrTimeout}
+	}
+	return *res
+}
+
+// globalUtilization sums used/capacity over live nodes.
+func (pc *pastCluster) globalUtilization() float64 {
+	var used, capTotal int64
+	for i, pn := range pc.PAST {
+		if pc.Down(i) {
+			continue
+		}
+		used += pn.Store().Used()
+		capTotal += pn.Store().Capacity()
+	}
+	if capTotal == 0 {
+		return 0
+	}
+	return float64(used) / float64(capTotal)
+}

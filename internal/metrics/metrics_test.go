@@ -1,0 +1,112 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Std() != 0 || s.Percentile(50) != 0 {
+		t.Fatal("empty summary should be all zeros")
+	}
+	for _, v := range []float64{1, 2, 3, 4, 5} {
+		s.Add(v)
+	}
+	if s.N() != 5 || s.Mean() != 3 || s.Min() != 1 || s.Max() != 5 {
+		t.Fatalf("summary wrong: %s", s.String())
+	}
+	if math.Abs(s.Std()-math.Sqrt(2)) > 1e-9 {
+		t.Fatalf("std = %f", s.Std())
+	}
+	if s.Percentile(50) != 3 || s.Percentile(100) != 5 || s.Percentile(0) != 1 {
+		t.Fatalf("percentiles wrong: %f %f %f", s.Percentile(50), s.Percentile(100), s.Percentile(0))
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	var s Summary
+	s.Add(1)
+	if !strings.Contains(s.String(), "n=1") {
+		t.Fatal("String missing count")
+	}
+}
+
+func TestQuickSummaryMeanWithinBounds(t *testing.T) {
+	f := func(vals []float64) bool {
+		var s Summary
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e12 {
+				continue // extreme magnitudes overflow the sum; out of scope
+			}
+			s.Add(v)
+		}
+		if s.N() == 0 {
+			return true
+		}
+		return s.Mean() >= s.Min()-1e-9 && s.Mean() <= s.Max()+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHist(t *testing.T) {
+	var h Hist
+	for _, v := range []int{0, 1, 1, 2, 2, 2} {
+		h.Add(v)
+	}
+	if h.Total() != 6 || h.Count(2) != 3 || h.Count(9) != 0 {
+		t.Fatal("hist counts wrong")
+	}
+	if h.Frac(1) != 2.0/6 {
+		t.Fatalf("Frac = %f", h.Frac(1))
+	}
+	if h.Mean() != (0+1+1+2+2+2)/6.0 {
+		t.Fatalf("Mean = %f", h.Mean())
+	}
+	if h.MaxValue() != 2 {
+		t.Fatalf("MaxValue = %d", h.MaxValue())
+	}
+	rows := h.Rows()
+	if len(strings.Split(strings.TrimSpace(rows), "\n")) != 3 {
+		t.Fatalf("Rows output:\n%s", rows)
+	}
+}
+
+func TestHistNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative Add should panic")
+		}
+	}()
+	var h Hist
+	h.Add(-1)
+}
+
+func TestEmptyHist(t *testing.T) {
+	var h Hist
+	if h.Mean() != 0 || h.Frac(0) != 0 || h.MaxValue() != 0 {
+		t.Fatal("empty hist should be zeros")
+	}
+}
+
+func TestTable(t *testing.T) {
+	tb := Table{Header: []string{"n", "hops"}}
+	tb.AddRow(1000, 3.14159)
+	tb.AddRow("10k", "long-cell-content")
+	out := tb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "hops") || !strings.Contains(lines[2], "3.142") {
+		t.Fatalf("table content wrong:\n%s", out)
+	}
+	// Columns aligned: all lines at least as wide as the widest cell.
+	if len(lines[1]) < len("long-cell-content") {
+		t.Fatal("separator not sized to data")
+	}
+}

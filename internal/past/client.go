@@ -1,0 +1,398 @@
+package past
+
+import (
+	"errors"
+	"fmt"
+
+	"past/internal/id"
+	"past/internal/seccrypt"
+	"past/internal/transport"
+	"past/internal/wire"
+)
+
+// Client-operation errors.
+var (
+	ErrTimeout  = errors.New("past: request timed out")
+	ErrRejected = errors.New("past: insert rejected")
+	ErrNotFound = errors.New("past: file not found")
+)
+
+// InsertResult reports the outcome of an Insert.
+type InsertResult struct {
+	FileID   id.File
+	Cert     wire.FileCertificate
+	Receipts []wire.StoreReceipt
+	Diverted int // receipts that came from diverted replicas
+	Retries  int // file-diversion retries consumed
+	Err      error
+}
+
+// LookupResult reports the outcome of a Lookup.
+type LookupResult struct {
+	Cert     wire.FileCertificate
+	Data     []byte
+	From     wire.NodeRef
+	Hops     int
+	Distance float64
+	Cached   bool
+	Err      error
+}
+
+// ReclaimResult reports the outcome of a Reclaim.
+type ReclaimResult struct {
+	Receipts []wire.ReclaimReceipt
+	Freed    int64
+	Err      error
+}
+
+type opKind int
+
+const (
+	opInsert opKind = iota
+	opLookup
+	opReclaim
+	opDivert
+	opAudit
+)
+
+// pendingOp tracks one in-flight client operation (or a server-side
+// diversion negotiation).
+type pendingOp struct {
+	kind  opKind
+	timer transport.Timer
+
+	// insert
+	card     *seccrypt.Smartcard
+	name     string
+	data     []byte
+	k        int
+	retries  int
+	cert     wire.FileCertificate
+	receipts []wire.StoreReceipt
+	seen     map[id.Node]bool
+	insertCB func(InsertResult)
+	// lookup
+	lookupCB func(LookupResult)
+	// reclaim
+	fileID     id.File
+	reclaimRcv []wire.ReclaimReceipt
+	reclaimCB  func(ReclaimResult)
+	// divert (server side)
+	divert     *wire.ReplicaStore
+	candidates []wire.NodeRef
+	// audit
+	auditWant [32]byte
+	auditCB   func(bool)
+}
+
+func (op *pendingOp) stopTimer() {
+	if op.timer != nil {
+		op.timer.Stop()
+	}
+}
+
+// newReqID derives a fresh request identifier.
+func (n *Node) newReqID() uint64 { return n.pn.Rand() }
+
+// ---------------------------------------------------------------------------
+// Insert
+
+// Insert stores data under the given textual name on behalf of the card's
+// owner, replicated k times (k = 0 uses the node default). The callback
+// fires exactly once. The card debits quota when the certificate is
+// issued; rejected inserts are refunded.
+func (n *Node) Insert(card *seccrypt.Smartcard, name string, data []byte, k int, cb func(InsertResult)) {
+	if k <= 0 {
+		k = n.cfg.K
+	}
+	n.startInsertAttempt(card, name, data, k, 0, cb)
+}
+
+// startInsertAttempt issues a certificate with a fresh salt and routes the
+// insert. Each retry is a "file diversion": a new salt yields a new fileId
+// targeting a different region of the ring (section 2.3).
+func (n *Node) startInsertAttempt(card *seccrypt.Smartcard, name string, data []byte, k, retry int, cb func(InsertResult)) {
+	salt := make([]byte, 8)
+	s := n.pn.Rand()
+	for i := range salt {
+		salt[i] = byte(s >> (8 * i))
+	}
+	cert, err := card.IssueFileCertificate(name, data, k, salt, n.nowUnix())
+	if err != nil {
+		cb(InsertResult{Err: fmt.Errorf("past: issue certificate: %w", err), Retries: retry})
+		return
+	}
+	reqID := n.newReqID()
+	op := &pendingOp{
+		kind:     opInsert,
+		card:     card,
+		name:     name,
+		data:     data,
+		k:        k,
+		retries:  retry,
+		cert:     cert,
+		seen:     make(map[id.Node]bool),
+		insertCB: cb,
+	}
+	n.mu.Lock()
+	n.pending[reqID] = op
+	n.mu.Unlock()
+	op.timer = n.pn.Clock().AfterFunc(n.cfg.RequestTimeout, func() {
+		n.finishInsert(reqID, ErrTimeout)
+	})
+	n.pn.Route(cert.FileID.Key(), wire.InsertRequest{
+		Cert:   cert,
+		Data:   data,
+		Client: n.pn.Ref(),
+		ReqID:  reqID,
+	})
+}
+
+// clientCollectReceipt accumulates store receipts toward k.
+func (n *Node) clientCollectReceipt(m wire.StoreReceipt) {
+	n.mu.Lock()
+	op := n.pending[m.ReqID]
+	if op == nil || op.kind != opInsert {
+		n.mu.Unlock()
+		return
+	}
+	if seccrypt.VerifyStoreReceipt(&m) != nil || op.seen[m.StoredBy.ID] {
+		n.mu.Unlock()
+		return
+	}
+	op.seen[m.StoredBy.ID] = true
+	op.receipts = append(op.receipts, m)
+	done := len(op.receipts) >= op.k
+	n.mu.Unlock()
+	if done {
+		n.finishInsert(m.ReqID, nil)
+	}
+}
+
+// handleInsertReject fails the attempt early (triggering file diversion).
+func (n *Node) handleInsertReject(m wire.InsertReject) {
+	n.mu.Lock()
+	op := n.pending[m.ReqID]
+	rejected := op != nil && op.kind == opInsert
+	n.mu.Unlock()
+	if rejected {
+		n.finishInsert(m.ReqID, ErrRejected)
+	}
+}
+
+// finishInsert resolves an insert attempt: success, retry with a new salt,
+// or failure with quota refund and best-effort cleanup of partial
+// replicas.
+func (n *Node) finishInsert(reqID uint64, cause error) {
+	n.mu.Lock()
+	op := n.pending[reqID]
+	if op == nil || op.kind != opInsert {
+		n.mu.Unlock()
+		return
+	}
+	delete(n.pending, reqID)
+	if cause == nil && len(op.receipts) < op.k {
+		cause = ErrTimeout
+	}
+	n.mu.Unlock()
+	op.stopTimer()
+
+	if cause == nil {
+		diverted := 0
+		for _, r := range op.receipts {
+			if r.Diverted {
+				diverted++
+			}
+		}
+		op.insertCB(InsertResult{
+			FileID:   op.cert.FileID,
+			Cert:     op.cert,
+			Receipts: op.receipts,
+			Diverted: diverted,
+			Retries:  op.retries,
+		})
+		return
+	}
+
+	// The attempt failed: refund quota and reclaim any partial replicas so
+	// they do not leak storage.
+	op.card.RefundFileCertificate(&op.cert)
+	if len(op.receipts) > 0 {
+		if rc, err := op.card.IssueReclaimCertificate(op.cert.FileID, n.nowUnix()); err == nil {
+			n.pn.Route(op.cert.FileID.Key(), wire.ReclaimRequest{Cert: rc, Client: n.pn.Ref(), ReqID: n.newReqID()})
+		}
+	}
+	if n.cfg.FileDiversion && op.retries < n.cfg.MaxRetries {
+		n.startInsertAttempt(op.card, op.name, op.data, op.k, op.retries+1, op.insertCB)
+		return
+	}
+	n.mu.Lock()
+	n.stats.InsertRejects++
+	n.mu.Unlock()
+	op.insertCB(InsertResult{
+		FileID:   op.cert.FileID,
+		Cert:     op.cert,
+		Receipts: op.receipts,
+		Retries:  op.retries,
+		Err:      fmt.Errorf("%w after %d retries: %v", ErrRejected, op.retries, cause),
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Lookup
+
+// Lookup retrieves the file with the given fileId. The callback fires
+// exactly once; the returned certificate lets the caller verify content
+// authenticity (done here as well).
+func (n *Node) Lookup(fileID id.File, cb func(LookupResult)) {
+	reqID := n.newReqID()
+	op := &pendingOp{kind: opLookup, fileID: fileID, lookupCB: cb}
+	n.mu.Lock()
+	n.pending[reqID] = op
+	n.mu.Unlock()
+	op.timer = n.pn.Clock().AfterFunc(n.cfg.RequestTimeout, func() {
+		n.mu.Lock()
+		still := n.pending[reqID]
+		delete(n.pending, reqID)
+		n.mu.Unlock()
+		if still != nil {
+			cb(LookupResult{Err: ErrTimeout})
+		}
+	})
+	req := wire.LookupRequest{FileID: fileID, Client: n.pn.Ref(), ReqID: reqID, PrevHop: n.pn.Ref()}
+	// Serve locally when possible: a routed message to a key we own never
+	// leaves the node anyway.
+	r := wire.Routed{Key: fileID.Key(), Payload: req, Origin: n.pn.Ref()}
+	if n.serveLookup(&r, req, false) {
+		return
+	}
+	n.pn.Route(fileID.Key(), req)
+}
+
+func (n *Node) handleLookupReply(m wire.LookupReply) {
+	n.mu.Lock()
+	op := n.pending[m.ReqID]
+	if op == nil || op.kind != opLookup {
+		n.mu.Unlock()
+		return
+	}
+	delete(n.pending, m.ReqID)
+	n.mu.Unlock()
+	op.stopTimer()
+	res := LookupResult{
+		Cert:     m.Cert,
+		Data:     m.Data,
+		From:     m.From,
+		Hops:     m.Hops,
+		Distance: m.Distance,
+		Cached:   m.Cached,
+	}
+	// Verify authenticity against the certificate (section 2.1: "the file
+	// certificate is returned along with the file, and allows the client
+	// to verify that the contents are authentic").
+	if err := seccrypt.VerifyFileCertificate(n.brokerPub, &m.Cert, n.nowUnix()); err != nil {
+		res.Err = err
+	} else if err := seccrypt.VerifyContent(&m.Cert, m.Data); err != nil {
+		res.Err = err
+	}
+	op.lookupCB(res)
+}
+
+func (n *Node) handleLookupMiss(m wire.LookupMiss) {
+	n.mu.Lock()
+	op := n.pending[m.ReqID]
+	if op == nil || op.kind != opLookup {
+		n.mu.Unlock()
+		return
+	}
+	delete(n.pending, m.ReqID)
+	n.mu.Unlock()
+	op.stopTimer()
+	op.lookupCB(LookupResult{Err: ErrNotFound})
+}
+
+// ---------------------------------------------------------------------------
+// Reclaim
+
+// Reclaim frees the storage of a file the card's owner inserted. The
+// callback fires once, after the first receipts arrive or the timeout
+// elapses; per section 1 the operation does not guarantee the file is no
+// longer available anywhere.
+func (n *Node) Reclaim(card *seccrypt.Smartcard, fileID id.File, cb func(ReclaimResult)) {
+	rc, err := card.IssueReclaimCertificate(fileID, n.nowUnix())
+	if err != nil {
+		cb(ReclaimResult{Err: err})
+		return
+	}
+	reqID := n.newReqID()
+	op := &pendingOp{kind: opReclaim, fileID: fileID, card: card, reclaimCB: cb}
+	n.mu.Lock()
+	n.pending[reqID] = op
+	n.mu.Unlock()
+	op.timer = n.pn.Clock().AfterFunc(n.cfg.RequestTimeout, func() {
+		n.mu.Lock()
+		still := n.pending[reqID]
+		delete(n.pending, reqID)
+		n.mu.Unlock()
+		if still == nil {
+			return
+		}
+		var freed int64
+		for _, r := range still.reclaimRcv {
+			freed += r.Freed
+		}
+		res := ReclaimResult{Receipts: still.reclaimRcv, Freed: freed}
+		if len(still.reclaimRcv) == 0 {
+			res.Err = ErrTimeout
+		}
+		cb(res)
+	})
+	n.pn.Route(fileID.Key(), wire.ReclaimRequest{Cert: rc, Client: n.pn.Ref(), ReqID: reqID})
+}
+
+// handleReclaimReceipt credits the owner's quota for each verified receipt
+// (section 2.1, "Storage quotas").
+func (n *Node) handleReclaimReceipt(m wire.ReclaimReceipt) {
+	n.mu.Lock()
+	op := n.pending[m.ReqID]
+	if op == nil || op.kind != opReclaim {
+		n.mu.Unlock()
+		return
+	}
+	op.reclaimRcv = append(op.reclaimRcv, m)
+	card := op.card
+	n.mu.Unlock()
+	if card != nil {
+		card.CreditReclaimReceipt(&m, n.nowUnix()) //nolint:errcheck // invalid receipts simply do not credit
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Audit
+
+// AuditPeer challenges peer to prove it stores fileID, comparing the proof
+// against this node's own copy of the content (random audits, section
+// 2.1). The callback receives true when the peer produced a valid proof.
+func (n *Node) AuditPeer(peer wire.NodeRef, fileID id.File, cb func(bool)) error {
+	it, err := n.store.Get(fileID)
+	if err != nil {
+		return fmt.Errorf("past: audit requires a local copy: %w", err)
+	}
+	nonce := n.pn.Rand()
+	reqID := n.newReqID()
+	op := &pendingOp{kind: opAudit, auditWant: seccrypt.AuditProof(nonce, it.Data), auditCB: cb}
+	n.mu.Lock()
+	n.pending[reqID] = op
+	n.mu.Unlock()
+	op.timer = n.pn.Clock().AfterFunc(n.cfg.RequestTimeout, func() {
+		n.mu.Lock()
+		still := n.pending[reqID]
+		delete(n.pending, reqID)
+		n.mu.Unlock()
+		if still != nil {
+			cb(false)
+		}
+	})
+	n.pn.Send(peer, wire.AuditChallenge{FileID: fileID, Nonce: nonce, From: n.pn.Ref(), ReqID: reqID})
+	return nil
+}

@@ -1,0 +1,64 @@
+// Package past implements the PAST storage layer on top of Pastry: the
+// paper's primary contribution. A past.Node turns a Pastry overlay node
+// into a storage node and client access point offering the three
+// operations of section 1 — Insert, Lookup and Reclaim — with
+// k-replication on the nodes whose nodeIds are numerically closest to the
+// fileId, store receipts, reclaim certificates and receipts, storage
+// quotas, replica diversion, file diversion, failure-triggered
+// re-replication, and caching of popular files along lookup and insert
+// paths (sections 2.1 and 2.3).
+package past
+
+import "time"
+
+// Config sets the storage-layer parameters. DefaultConfig matches the
+// defaults of the paper and its SOSP'01 companion.
+type Config struct {
+	// K is the default replication factor for inserted files.
+	K int
+	// Capacity is this node's contributed storage in bytes.
+	Capacity int64
+	// TPri is the primary acceptance threshold: a node rejects a primary
+	// replica when fileSize/freeSpace exceeds it. Large files are thus
+	// rejected first as the node fills (section 2.3 via SOSP'01).
+	TPri float64
+	// TDiv is the (stricter) acceptance threshold for diverted replicas.
+	TDiv float64
+	// ReplicaDiversion enables delegating a replica to a leaf-set member
+	// with spare space when the responsible node is full.
+	ReplicaDiversion bool
+	// FileDiversion enables client-side retry with a fresh salt (and thus
+	// a fresh fileId targeting a different part of the ring) when an
+	// insert is rejected.
+	FileDiversion bool
+	// MaxRetries bounds file-diversion retries; the SOSP'01 companion
+	// uses three.
+	MaxRetries int
+	// Caching enables caching copies of files at nodes along lookup and
+	// insert paths, using spare (non-replica) capacity.
+	Caching bool
+	// RequestTimeout bounds how long a client operation waits for
+	// receipts or a reply.
+	RequestTimeout time.Duration
+	// Epoch anchors certificate timestamps: wall-clock seconds at
+	// simulation time zero.
+	Epoch int64
+}
+
+// DefaultConfig returns the paper's parameters: k=5 replicas (the value
+// used in the replica-locality experiment), thresholds 0.1/0.05, three
+// file-diversion retries, caching on.
+func DefaultConfig() Config {
+	return Config{
+		K:                5,
+		Capacity:         64 << 20,
+		TPri:             0.1,
+		TDiv:             0.05,
+		ReplicaDiversion: true,
+		FileDiversion:    true,
+		MaxRetries:       3,
+		Caching:          true,
+		RequestTimeout:   30 * time.Second,
+		Epoch:            1_000_000_000,
+	}
+}

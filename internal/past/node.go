@@ -1,0 +1,731 @@
+package past
+
+import (
+	"crypto/ed25519"
+	"sort"
+	"sync"
+
+	"past/internal/id"
+	"past/internal/pastry"
+	"past/internal/seccrypt"
+	"past/internal/storage"
+	"past/internal/wire"
+)
+
+// Node is a PAST storage node and client access point. It implements
+// pastry.App and must be installed on its Pastry node with SetApp.
+type Node struct {
+	cfg       Config
+	pn        *pastry.Node
+	card      *seccrypt.Smartcard
+	brokerPub ed25519.PublicKey
+	store     *storage.Store
+	cache     *storage.Cache
+
+	mu      sync.Mutex
+	pending map[uint64]*pendingOp
+
+	// Stats counts storage-management events for the experiments.
+	stats Stats
+}
+
+// Stats aggregates per-node storage-management counters.
+type Stats struct {
+	PrimaryStores   int
+	DivertedStores  int
+	DivertAttempts  int
+	LocalRejects    int
+	InsertRejects   int
+	Reclaims        int
+	Replications    int
+	CachePushes     int
+	LookupsServed   int
+	CacheServes     int
+	PointerFollowed int
+}
+
+// NewNode creates a PAST node bound to pn. The node's smartcard signs
+// receipts and fixes its nodeId; brokerPub is the certification key this
+// node trusts.
+func NewNode(cfg Config, pn *pastry.Node, card *seccrypt.Smartcard, brokerPub ed25519.PublicKey) *Node {
+	if cfg.K <= 0 {
+		cfg.K = DefaultConfig().K
+	}
+	if cfg.TPri <= 0 {
+		cfg.TPri = DefaultConfig().TPri
+	}
+	if cfg.TDiv <= 0 {
+		cfg.TDiv = DefaultConfig().TDiv
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = DefaultConfig().RequestTimeout
+	}
+	if cfg.Epoch == 0 {
+		cfg.Epoch = DefaultConfig().Epoch
+	}
+	n := &Node{
+		cfg:       cfg,
+		pn:        pn,
+		card:      card,
+		brokerPub: brokerPub,
+		store:     storage.NewStore(cfg.Capacity),
+		cache:     storage.NewCache(cfg.Capacity),
+		pending:   make(map[uint64]*pendingOp),
+	}
+	pn.SetApp(n)
+	return n
+}
+
+// Pastry returns the underlying overlay node.
+func (n *Node) Pastry() *pastry.Node { return n.pn }
+
+// Store exposes the replica store (read-mostly; used by experiments).
+func (n *Node) Store() *storage.Store { return n.store }
+
+// Cache exposes the file cache.
+func (n *Node) Cache() *storage.Cache { return n.cache }
+
+// Stats returns a copy of the node's counters.
+func (n *Node) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+// nowUnix converts the node's clock into certificate timestamps.
+func (n *Node) nowUnix() int64 {
+	return n.cfg.Epoch + int64(n.pn.Clock().Now().Seconds())
+}
+
+// syncCache shrinks the cache to the capacity replicas have not claimed
+// ("unused portion of their advertised disk space", section 2.3).
+func (n *Node) syncCache() {
+	if !n.cfg.Caching {
+		n.cache.Resize(0)
+		return
+	}
+	n.cache.Resize(n.store.Free())
+}
+
+// ---------------------------------------------------------------------------
+// pastry.App implementation
+
+// Deliver handles routed messages for which this node is the root.
+func (n *Node) Deliver(r wire.Routed, from wire.NodeRef) {
+	switch m := r.Payload.(type) {
+	case wire.InsertRequest:
+		n.handleInsertRoot(r, m)
+	case wire.LookupRequest:
+		n.handleLookupRoot(r, m)
+	case wire.ReclaimRequest:
+		n.handleReclaimRoot(r, m)
+	}
+}
+
+// Forward lets the node satisfy lookups mid-route from replicas or cache
+// and populate caches along insert paths (section 2.3).
+func (n *Node) Forward(r *wire.Routed, next wire.NodeRef) bool {
+	switch m := r.Payload.(type) {
+	case wire.LookupRequest:
+		if n.serveLookup(r, m, true) {
+			return false // consumed: replied from replica or cache
+		}
+		// When the route is about to enter the fileId's replica set,
+		// steer it to the proximally nearest holder instead of the
+		// numerically closest: this is what makes lookups find a nearby
+		// replica first (section 2.2, "Locality"). One redirect only.
+		if !m.Redirected {
+			if target, ok := n.nearestHolder(r.Key, next); ok && target.ID != next.ID {
+				m.Redirected = true
+				m.PrevHop = n.pn.Ref()
+				fwd := *r
+				fwd.Payload = m
+				fwd.Hops++
+				fwd.Distance += n.pn.Proximity(target.Addr)
+				n.pn.Send(target, fwd)
+				return false
+			}
+		}
+		// Track the previous hop so the eventual responder can push a
+		// cached copy one hop toward the client.
+		m.PrevHop = n.pn.Ref()
+		r.Payload = m
+	case wire.InsertRequest:
+		// Cache along the insert path.
+		if n.cfg.Caching && seccrypt.VerifyContent(&m.Cert, m.Data) == nil {
+			n.cache.Put(storage.Item{Cert: m.Cert, Data: m.Data}, 1)
+		}
+	}
+	return true
+}
+
+// HandleDirect processes point-to-point storage messages.
+func (n *Node) HandleDirect(from wire.NodeRef, m wire.Msg) bool {
+	switch msg := m.(type) {
+	case wire.ReplicaStore:
+		n.handleReplicaStore(msg)
+	case wire.StoreReceipt:
+		n.handleStoreReceipt(msg)
+	case wire.DivertReject:
+		n.handleDivertReject(msg)
+	case wire.InsertReject:
+		n.handleInsertReject(msg)
+	case wire.LookupReply:
+		n.handleLookupReply(msg)
+	case wire.LookupMiss:
+		n.handleLookupMiss(msg)
+	case wire.FetchRequest:
+		n.handleFetch(msg)
+	case wire.ReclaimForward:
+		n.handleReclaimForward(msg)
+	case wire.ReclaimReceipt:
+		n.handleReclaimReceipt(msg)
+	case wire.Replicate:
+		n.handleReplicate(msg)
+	case wire.CacheCopy:
+		n.handleCacheCopy(msg)
+	case wire.AuditChallenge:
+		n.handleAuditChallenge(msg)
+	case wire.AuditResponse:
+		n.handleAuditResponse(msg)
+	default:
+		return false
+	}
+	return true
+}
+
+// LeafSetChanged restores the replication invariant after membership
+// changes (section 2.1, "Persistence": the system restores k copies as
+// part of failure recovery; likewise new nodes take over part of the key
+// space).
+func (n *Node) LeafSetChanged() {
+	n.reReplicate()
+}
+
+// ---------------------------------------------------------------------------
+// Insert: root side
+
+// replicaSet returns the k nodes (including possibly this one) that should
+// hold replicas of key: the numerically closest among this node and its
+// leaf set.
+func (n *Node) replicaSet(key id.Node, k int) []wire.NodeRef {
+	cands := append([]wire.NodeRef{n.pn.Ref()}, n.pn.LeafMembers()...)
+	sort.Slice(cands, func(a, b int) bool {
+		return id.Closer(key, cands[a].ID, cands[b].ID)
+	})
+	if k > len(cands) {
+		k = len(cands)
+	}
+	return cands[:k]
+}
+
+// nearestHolder decides whether a lookup being forwarded to next is
+// entering the key's replica set; if so it returns the proximally nearest
+// member of that set (likely holding a replica). ok is false when this
+// node's leaf set says the route has not reached the replica neighborhood
+// yet.
+func (n *Node) nearestHolder(key id.Node, next wire.NodeRef) (wire.NodeRef, bool) {
+	set := n.replicaSet(key, n.cfg.K)
+	entering := false
+	for _, ref := range set {
+		if ref.ID == next.ID || ref.ID == n.pn.ID() {
+			entering = true
+			break
+		}
+	}
+	if !entering {
+		return wire.NodeRef{}, false
+	}
+	var best wire.NodeRef
+	bestProx := 0.0
+	for _, ref := range set {
+		if ref.ID == n.pn.ID() {
+			continue // serveLookup already missed locally
+		}
+		if !n.pn.Reachable(ref) {
+			continue
+		}
+		p := n.pn.Proximity(ref.Addr)
+		if best.IsZero() || p < bestProx {
+			best = ref
+			bestProx = p
+		}
+	}
+	if best.IsZero() {
+		return wire.NodeRef{}, false
+	}
+	return best, true
+}
+
+// handleInsertRoot runs at the node numerically closest to the fileId: it
+// verifies the certificate and content and fans replicas out to the k
+// closest nodes (section 2, "When a file is inserted").
+func (n *Node) handleInsertRoot(r wire.Routed, m wire.InsertRequest) {
+	if err := seccrypt.VerifyFileCertificate(n.brokerPub, &m.Cert, n.nowUnix()); err != nil {
+		n.pn.Send(m.Client, wire.InsertReject{FileID: m.Cert.FileID, ReqID: m.ReqID, Reason: "bad certificate: " + err.Error()})
+		return
+	}
+	if err := seccrypt.VerifyContent(&m.Cert, m.Data); err != nil {
+		n.pn.Send(m.Client, wire.InsertReject{FileID: m.Cert.FileID, ReqID: m.ReqID, Reason: "content mismatch: " + err.Error()})
+		return
+	}
+	set := n.replicaSet(m.Cert.FileID.Key(), m.Cert.Replicas)
+	rs := wire.ReplicaStore{
+		Cert:    m.Cert,
+		Data:    m.Data,
+		Client:  m.Client,
+		ReqID:   m.ReqID,
+		Primary: n.pn.Ref(),
+	}
+	for _, ref := range set {
+		if ref.ID == n.pn.ID() {
+			local := rs
+			local.Primary = ref
+			n.handleReplicaStore(local)
+			continue
+		}
+		out := rs
+		out.Primary = ref
+		n.pn.Send(ref, out)
+	}
+}
+
+// accept applies the storage-management admission policy of section 2.3:
+// reject when the file is too large relative to the node's free space
+// (threshold t_pri for primary, t_div for diverted replicas).
+func (n *Node) accept(size int64, diverted bool) bool {
+	free := n.store.Free()
+	if size > free {
+		return false
+	}
+	if free == 0 {
+		return false
+	}
+	t := n.cfg.TPri
+	if diverted {
+		t = n.cfg.TDiv
+	}
+	return float64(size)/float64(free) <= t
+}
+
+// handleReplicaStore runs at each node asked to hold a replica.
+func (n *Node) handleReplicaStore(m wire.ReplicaStore) {
+	if err := seccrypt.VerifyFileCertificate(n.brokerPub, &m.Cert, n.nowUnix()); err != nil {
+		return
+	}
+	if err := seccrypt.VerifyContent(&m.Cert, m.Data); err != nil {
+		return
+	}
+	if n.store.Has(m.Cert.FileID) {
+		// Idempotent: already stored (e.g. re-sent during recovery);
+		// re-issue the receipt so the client can complete.
+		n.sendReceipt(m)
+		return
+	}
+	if n.accept(m.Cert.Size, m.Diverted) {
+		item := storage.Item{Cert: m.Cert, Data: m.Data, Diverted: m.Diverted, Primary: m.Primary}
+		if err := n.store.Put(item); err == nil {
+			n.syncCache()
+			n.mu.Lock()
+			if m.Diverted {
+				n.stats.DivertedStores++
+			} else {
+				n.stats.PrimaryStores++
+			}
+			n.mu.Unlock()
+			n.sendReceipt(m)
+			return
+		}
+	}
+	n.mu.Lock()
+	n.stats.LocalRejects++
+	n.mu.Unlock()
+	if m.Diverted {
+		// A diverted replica we cannot hold: bounce back to the primary.
+		n.pn.Send(m.Primary, wire.DivertReject{FileID: m.Cert.FileID, ReqID: m.ReqID, From: n.pn.Ref()})
+		return
+	}
+	// Primary replica we cannot hold: try replica diversion.
+	if n.cfg.ReplicaDiversion && n.tryDivert(m) {
+		return
+	}
+	n.pn.Send(m.Client, wire.InsertReject{FileID: m.Cert.FileID, ReqID: m.ReqID, Reason: "no space"})
+}
+
+// divertCandidates lists leaf-set members eligible to hold a diverted
+// replica: outside the k-replica set, per section 2.3 ("a node ... asks a
+// node in its leaf set that is not among the k closest to store the
+// copy").
+func (n *Node) divertCandidates(m wire.ReplicaStore) []wire.NodeRef {
+	set := n.replicaSet(m.Cert.FileID.Key(), m.Cert.Replicas)
+	inSet := make(map[id.Node]bool, len(set))
+	for _, r := range set {
+		inSet[r.ID] = true
+	}
+	var out []wire.NodeRef
+	for _, r := range n.pn.LeafMembers() {
+		if !inSet[r.ID] {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// tryDivert starts replica diversion: forward to the first candidate and
+// remember the rest in the pending table so DivertReject can advance.
+func (n *Node) tryDivert(m wire.ReplicaStore) bool {
+	cands := n.divertCandidates(m)
+	if len(cands) == 0 {
+		return false
+	}
+	n.mu.Lock()
+	n.stats.DivertAttempts++
+	key := divertKey(m.Cert.FileID, m.ReqID)
+	n.pending[key] = &pendingOp{kind: opDivert, divert: &m, candidates: cands[1:]}
+	n.mu.Unlock()
+	out := m
+	out.Diverted = true
+	out.Primary = n.pn.Ref()
+	n.pn.Send(cands[0], out)
+	return true
+}
+
+// divertKey gives diversion bookkeeping a distinct pending-table key so it
+// cannot collide with the client's own request ids.
+func divertKey(f id.File, reqID uint64) uint64 {
+	h := uint64(0xd1e7)
+	for _, b := range f[:8] {
+		h = h*131 + uint64(b)
+	}
+	return h ^ reqID
+}
+
+// handleDivertReject advances to the next diversion candidate or rejects.
+func (n *Node) handleDivertReject(m wire.DivertReject) {
+	n.mu.Lock()
+	key := divertKey(m.FileID, m.ReqID)
+	op := n.pending[key]
+	if op == nil || op.kind != opDivert {
+		n.mu.Unlock()
+		return
+	}
+	if len(op.candidates) == 0 {
+		delete(n.pending, key)
+		client := op.divert.Client
+		n.mu.Unlock()
+		n.pn.Send(client, wire.InsertReject{FileID: m.FileID, ReqID: m.ReqID, Reason: "diversion exhausted"})
+		return
+	}
+	next := op.candidates[0]
+	op.candidates = op.candidates[1:]
+	out := *op.divert
+	n.mu.Unlock()
+	out.Diverted = true
+	out.Primary = n.pn.Ref()
+	n.pn.Send(next, out)
+}
+
+// sendReceipt signs and returns a store receipt to the client; diverted
+// stores also notify the primary so it can record the pointer.
+func (n *Node) sendReceipt(m wire.ReplicaStore) {
+	rcpt := wire.StoreReceipt{
+		FileID:     m.Cert.FileID,
+		StoredBy:   n.pn.Ref(),
+		OnBehalfOf: m.Primary,
+		Diverted:   m.Diverted,
+		Size:       m.Cert.Size,
+		ReqID:      m.ReqID,
+	}
+	n.card.SignStoreReceipt(&rcpt)
+	if m.Diverted && m.Primary.ID != n.pn.ID() {
+		n.pn.Send(m.Primary, rcpt)
+	}
+	if m.Client.ID == n.pn.ID() {
+		n.handleStoreReceipt(rcpt)
+		return
+	}
+	n.pn.Send(m.Client, rcpt)
+}
+
+// handleStoreReceipt runs at the client (collecting toward k receipts) and
+// at primaries recording diversion pointers.
+func (n *Node) handleStoreReceipt(m wire.StoreReceipt) {
+	if m.Diverted && m.OnBehalfOf.ID == n.pn.ID() && m.StoredBy.ID != n.pn.ID() {
+		// We are the primary: the diverted replica found a home; keep the
+		// pointer and close the diversion op.
+		if seccrypt.VerifyStoreReceipt(&m) == nil {
+			n.store.SetPointer(m.FileID, m.StoredBy)
+			n.mu.Lock()
+			delete(n.pending, divertKey(m.FileID, m.ReqID))
+			n.mu.Unlock()
+		}
+		// The receipt may also be addressed to us as client (self-insert);
+		// fall through in that case.
+		if m.OnBehalfOf.ID != m.StoredBy.ID {
+			n.clientCollectReceipt(m)
+		}
+		return
+	}
+	n.clientCollectReceipt(m)
+}
+
+// ---------------------------------------------------------------------------
+// Lookup
+
+// serveLookup answers a lookup from local replicas, diversion pointers or
+// cache. midRoute marks Forward-time interception. It reports whether the
+// request was satisfied (or delegated to a pointer target).
+func (n *Node) serveLookup(r *wire.Routed, m wire.LookupRequest, midRoute bool) bool {
+	if it, err := n.store.Get(m.FileID); err == nil {
+		n.replyLookup(r, m, it, false)
+		return true
+	}
+	if n.cfg.Caching {
+		if it, ok := n.cache.Get(m.FileID); ok {
+			n.mu.Lock()
+			n.stats.CacheServes++
+			n.mu.Unlock()
+			n.replyLookup(r, m, it, true)
+			return true
+		}
+	}
+	if holder, ok := n.store.Pointer(m.FileID); ok {
+		// Replica was diverted: chase the pointer.
+		n.mu.Lock()
+		n.stats.PointerFollowed++
+		n.mu.Unlock()
+		n.pn.Send(holder, wire.FetchRequest{FileID: m.FileID, Client: m.Client, ReqID: m.ReqID})
+		return true
+	}
+	return false
+}
+
+func (n *Node) replyLookup(r *wire.Routed, m wire.LookupRequest, it storage.Item, cached bool) {
+	n.mu.Lock()
+	n.stats.LookupsServed++
+	n.mu.Unlock()
+	reply := wire.LookupReply{
+		Cert:     it.Cert,
+		Data:     it.Data,
+		From:     n.pn.Ref(),
+		ReqID:    m.ReqID,
+		Hops:     r.Hops,
+		Distance: r.Distance,
+		Cached:   cached,
+	}
+	if m.Client.ID == n.pn.ID() {
+		n.handleLookupReply(reply)
+	} else {
+		n.pn.Send(m.Client, reply)
+	}
+	// Push a cached copy one hop back toward the client, caching "close
+	// to interested clients" (sections 1 and 2.3).
+	if n.cfg.Caching && !m.PrevHop.IsZero() && m.PrevHop.ID != n.pn.ID() {
+		n.mu.Lock()
+		n.stats.CachePushes++
+		n.mu.Unlock()
+		n.pn.Send(m.PrevHop, wire.CacheCopy{Cert: it.Cert, Data: it.Data})
+	}
+}
+
+// handleLookupRoot runs when a lookup reaches the root without being
+// satisfied en route.
+func (n *Node) handleLookupRoot(r wire.Routed, m wire.LookupRequest) {
+	if n.serveLookup(&r, m, false) {
+		return
+	}
+	miss := wire.LookupMiss{FileID: m.FileID, ReqID: m.ReqID}
+	if m.Client.ID == n.pn.ID() {
+		n.handleLookupMiss(miss)
+		return
+	}
+	n.pn.Send(m.Client, miss)
+}
+
+// handleFetch serves a direct fetch (pointer chase or recovery transfer).
+func (n *Node) handleFetch(m wire.FetchRequest) {
+	it, err := n.store.Get(m.FileID)
+	if err != nil {
+		if n.cfg.Caching {
+			if cit, ok := n.cache.Get(m.FileID); ok {
+				it = cit
+				err = nil
+			}
+		}
+	}
+	if err != nil {
+		n.pn.Send(m.Client, wire.LookupMiss{FileID: m.FileID, ReqID: m.ReqID})
+		return
+	}
+	n.pn.Send(m.Client, wire.LookupReply{
+		Cert: it.Cert, Data: it.Data, From: n.pn.Ref(), ReqID: m.ReqID,
+	})
+}
+
+// handleCacheCopy stores an unsolicited cached copy if it verifies and
+// fits in spare capacity.
+func (n *Node) handleCacheCopy(m wire.CacheCopy) {
+	if !n.cfg.Caching {
+		return
+	}
+	if seccrypt.VerifyFileCertificate(n.brokerPub, &m.Cert, n.nowUnix()) != nil {
+		return
+	}
+	if seccrypt.VerifyContent(&m.Cert, m.Data) != nil {
+		return
+	}
+	n.syncCache()
+	n.cache.Put(storage.Item{Cert: m.Cert, Data: m.Data}, 1)
+}
+
+// ---------------------------------------------------------------------------
+// Reclaim
+
+// handleReclaimRoot fans a verified reclaim out to the replica set
+// (section 2.1, "Generation of reclaim certificates and receipts").
+func (n *Node) handleReclaimRoot(r wire.Routed, m wire.ReclaimRequest) {
+	fwd := wire.ReclaimForward{Cert: m.Cert, Client: m.Client, ReqID: m.ReqID}
+	// Fan out to the replica set for this fileId; k is not in the reclaim
+	// certificate, so use the larger of the node's default and the stored
+	// certificate's replication factor when known.
+	k := n.cfg.K
+	if it, err := n.store.Get(m.Cert.FileID); err == nil && it.Cert.Replicas > k {
+		k = it.Cert.Replicas
+	}
+	for _, ref := range n.replicaSet(m.Cert.FileID.Key(), k) {
+		if ref.ID == n.pn.ID() {
+			n.handleReclaimForward(fwd)
+			continue
+		}
+		n.pn.Send(ref, fwd)
+	}
+}
+
+// handleReclaimForward verifies and executes a reclaim at a storage node.
+func (n *Node) handleReclaimForward(m wire.ReclaimForward) {
+	// Pointer first: the diverted holder does the physical free.
+	if holder, ok := n.store.Pointer(m.Cert.FileID); ok {
+		n.store.DeletePointer(m.Cert.FileID)
+		n.pn.Send(holder, m)
+		return
+	}
+	it, err := n.store.Get(m.Cert.FileID)
+	if err != nil {
+		return // nothing stored here; weak reclaim semantics (section 1)
+	}
+	if seccrypt.VerifyReclaimAuthorized(n.brokerPub, &m.Cert, &it.Cert, n.nowUnix()) != nil {
+		return // unauthorized reclaim silently ignored
+	}
+	freed, err := n.store.Delete(m.Cert.FileID)
+	if err != nil {
+		return
+	}
+	n.cache.Invalidate(m.Cert.FileID)
+	n.syncCache()
+	n.mu.Lock()
+	n.stats.Reclaims++
+	n.mu.Unlock()
+	rcpt := wire.ReclaimReceipt{
+		FileID: m.Cert.FileID,
+		Freed:  freed,
+		By:     n.pn.Ref(),
+		ReqID:  m.ReqID,
+	}
+	n.card.SignReclaimReceipt(&rcpt)
+	if m.Client.ID == n.pn.ID() {
+		n.handleReclaimReceipt(rcpt)
+		return
+	}
+	n.pn.Send(m.Client, rcpt)
+}
+
+// ---------------------------------------------------------------------------
+// Re-replication and audits
+
+// reReplicate pushes stored primary replicas to nodes that newly entered
+// their files' replica sets.
+func (n *Node) reReplicate() {
+	self := n.pn.Ref()
+	for _, it := range n.store.Items() {
+		if it.Diverted {
+			continue // the primary is responsible for diverted copies
+		}
+		set := n.replicaSet(it.Cert.FileID.Key(), it.Cert.Replicas)
+		selfIn := false
+		for _, ref := range set {
+			if ref.ID == self.ID {
+				selfIn = true
+				break
+			}
+		}
+		if !selfIn {
+			continue // we hold a stale extra copy; harmless, acts as cache
+		}
+		for _, ref := range set {
+			if ref.ID == self.ID {
+				continue
+			}
+			n.mu.Lock()
+			n.stats.Replications++
+			n.mu.Unlock()
+			n.pn.Send(ref, wire.Replicate{Cert: it.Cert, Data: it.Data, From: self})
+		}
+	}
+}
+
+// handleReplicate stores a recovery transfer if it verifies and fits.
+func (n *Node) handleReplicate(m wire.Replicate) {
+	if n.store.Has(m.Cert.FileID) {
+		return
+	}
+	if seccrypt.VerifyFileCertificate(n.brokerPub, &m.Cert, n.nowUnix()) != nil {
+		return
+	}
+	if seccrypt.VerifyContent(&m.Cert, m.Data) != nil {
+		return
+	}
+	// Only accept if this node actually belongs to the replica set.
+	set := n.replicaSet(m.Cert.FileID.Key(), m.Cert.Replicas)
+	in := false
+	for _, ref := range set {
+		if ref.ID == n.pn.ID() {
+			in = true
+			break
+		}
+	}
+	if !in {
+		return
+	}
+	if !n.accept(m.Cert.Size, false) {
+		return
+	}
+	if err := n.store.Put(storage.Item{Cert: m.Cert, Data: m.Data}); err == nil {
+		n.syncCache()
+	}
+}
+
+// handleAuditChallenge proves storage of a file (section 2.1, random
+// audits expose nodes that cheat on contributed storage).
+func (n *Node) handleAuditChallenge(m wire.AuditChallenge) {
+	resp := wire.AuditResponse{FileID: m.FileID, From: n.pn.Ref(), ReqID: m.ReqID}
+	if it, err := n.store.Get(m.FileID); err == nil {
+		resp.Held = true
+		resp.Proof = seccrypt.AuditProof(m.Nonce, it.Data)
+	}
+	n.pn.Send(m.From, resp)
+}
+
+func (n *Node) handleAuditResponse(m wire.AuditResponse) {
+	n.mu.Lock()
+	op := n.pending[m.ReqID]
+	if op != nil && op.kind == opAudit {
+		delete(n.pending, m.ReqID)
+	}
+	n.mu.Unlock()
+	if op == nil || op.kind != opAudit {
+		return
+	}
+	op.stopTimer()
+	ok := m.Held && op.auditWant == m.Proof
+	op.auditCB(ok)
+}

@@ -1,0 +1,938 @@
+package pastry
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"past/internal/id"
+	"past/internal/transport"
+	"past/internal/wire"
+)
+
+// Config sets the Pastry parameters of section 2.2.
+type Config struct {
+	// B is the number of bits per digit (2^b-way branching). The paper's
+	// typical value is 4.
+	B int
+	// L is the leaf-set size (l/2 on each side). The paper's typical
+	// value is 32.
+	L int
+	// M is the neighborhood-set size.
+	M int
+	// KeepAlive is the interval between leaf-set keep-alive probes; zero
+	// disables periodic probing (large simulations enable it only in
+	// churn experiments).
+	KeepAlive time.Duration
+	// FailTimeout is the silence period T after which a leaf-set member
+	// is presumed failed (section 2.2, "Node addition and failure").
+	FailTimeout time.Duration
+	// JoinTimeout bounds how long a join waits for the state transfer.
+	JoinTimeout time.Duration
+	// Randomize enables the randomized routing of section 2.2
+	// ("Fault-tolerance"): the next hop is drawn from all admissible
+	// choices with probability heavily biased towards the best one.
+	Randomize bool
+	// Bias is the probability of taking the best admissible hop when
+	// Randomize is set; remaining probability recurses on the rest.
+	Bias float64
+	// Seed drives this node's routing randomness.
+	Seed int64
+}
+
+// DefaultConfig returns the paper's typical parameters.
+func DefaultConfig() Config {
+	return Config{
+		B:           4,
+		L:           32,
+		M:           32,
+		KeepAlive:   0,
+		FailTimeout: 2 * time.Second,
+		JoinTimeout: time.Minute,
+		Randomize:   false,
+		Bias:        0.85,
+	}
+}
+
+// App receives upcalls from the routing layer. Upcalls run without the
+// node lock held, so an App may freely call back into the Node.
+type App interface {
+	// Deliver is invoked when this node is the numerically closest live
+	// node for the message's key.
+	Deliver(r wire.Routed, from wire.NodeRef)
+	// Forward is invoked before relaying a routed message; returning
+	// false consumes the message (used by PAST to satisfy lookups from
+	// caches mid-route). Implementations may mutate the payload.
+	Forward(r *wire.Routed, next wire.NodeRef) bool
+	// HandleDirect receives non-routed application messages; it reports
+	// whether it consumed the message.
+	HandleDirect(from wire.NodeRef, m wire.Msg) bool
+	// LeafSetChanged is invoked after the leaf set gains or loses
+	// members; PAST uses it to restore replication (section 2.1,
+	// "Persistence").
+	LeafSetChanged()
+}
+
+// NopApp is an App that does nothing; embed it to implement only part of
+// the interface.
+type NopApp struct{}
+
+// Deliver implements App.
+func (NopApp) Deliver(wire.Routed, wire.NodeRef) {}
+
+// Forward implements App.
+func (NopApp) Forward(*wire.Routed, wire.NodeRef) bool { return true }
+
+// HandleDirect implements App.
+func (NopApp) HandleDirect(wire.NodeRef, wire.Msg) bool { return false }
+
+// LeafSetChanged implements App.
+func (NopApp) LeafSetChanged() {}
+
+// ErrJoinTimeout reports that the join state transfer did not complete.
+var ErrJoinTimeout = errors.New("pastry: join timed out")
+
+// Node is a Pastry overlay node.
+type Node struct {
+	cfg   Config
+	ref   wire.NodeRef
+	tr    transport.Transport
+	clock transport.Clock
+	app   App
+
+	mu    sync.Mutex
+	rt    *RoutingTable
+	leaf  *LeafSet
+	nbhd  *Neighborhood
+	rng   *rand.Rand
+	alive bool
+
+	// Probe, when non-nil, checks reachability of a next hop before
+	// forwarding (modelling transport-level failure detection); a failed
+	// probe triggers routing around the node and state repair.
+	probe func(addr string) bool
+
+	joined    bool
+	joinDone  func(error)
+	joinTimer transport.Timer
+	joinSeen  map[id.Node]bool // nodes discovered during join, to announce to
+
+	lastSeen map[id.Node]time.Duration
+	// suspect records nodes recently declared dead; third-party mentions
+	// of them (in leaf-set replies, announce fan-out, etc.) are ignored
+	// until the entry expires, so repair gossip from peers that have not
+	// yet noticed a crash cannot resurrect the dead node. Direct traffic
+	// from the node itself clears the suspicion.
+	suspect  map[id.Node]time.Duration
+	kaTimer  transport.Timer
+	nonceSeq uint64
+}
+
+// New creates a node. The transport's handler is installed immediately;
+// the node participates once Bootstrap or Join is called.
+func New(cfg Config, nodeID id.Node, tr transport.Transport, clock transport.Clock, app App) *Node {
+	if cfg.B <= 0 || cfg.B > 8 {
+		panic(fmt.Sprintf("pastry: b=%d out of range (1..8)", cfg.B))
+	}
+	if cfg.L < 2 {
+		panic(fmt.Sprintf("pastry: l=%d too small", cfg.L))
+	}
+	if app == nil {
+		app = NopApp{}
+	}
+	n := &Node{
+		cfg:      cfg,
+		ref:      wire.NodeRef{ID: nodeID, Addr: tr.Addr()},
+		tr:       tr,
+		clock:    clock,
+		app:      app,
+		rt:       NewRoutingTable(nodeID, cfg.B),
+		leaf:     NewLeafSet(nodeID, cfg.L),
+		nbhd:     NewNeighborhood(cfg.M),
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		lastSeen: make(map[id.Node]time.Duration),
+		suspect:  make(map[id.Node]time.Duration),
+	}
+	tr.SetHandler(n.handle)
+	return n
+}
+
+// SetApp installs the application layer. It must be called before the
+// node joins a network; constructing with a nil app installs NopApp.
+func (n *Node) SetApp(app App) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if app == nil {
+		app = NopApp{}
+	}
+	n.app = app
+}
+
+// Ref returns this node's identity and address.
+func (n *Node) Ref() wire.NodeRef { return n.ref }
+
+// ID returns this node's Pastry identifier.
+func (n *Node) ID() id.Node { return n.ref.ID }
+
+// SetProbe installs a reachability oracle used before forwarding. In the
+// simulator this models the immediate connection failure a TCP transport
+// observes when the peer is gone.
+func (n *Node) SetProbe(p func(addr string) bool) {
+	n.mu.Lock()
+	n.probe = p
+	n.mu.Unlock()
+}
+
+// Joined reports whether the node has completed its join.
+func (n *Node) Joined() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.joined
+}
+
+// Bootstrap marks this node as the first member of a new PAST network.
+func (n *Node) Bootstrap() {
+	n.mu.Lock()
+	n.joined = true
+	n.alive = true
+	n.mu.Unlock()
+	n.startKeepAlive()
+}
+
+// Join initiates the join protocol of section 2.2 via a seed node ("a
+// nearby node A"). done is invoked exactly once, with nil on success.
+func (n *Node) Join(seed string, done func(error)) {
+	n.mu.Lock()
+	n.alive = true
+	n.joinDone = done
+	n.joinSeen = make(map[id.Node]bool)
+	if n.cfg.JoinTimeout > 0 {
+		n.joinTimer = n.clock.AfterFunc(n.cfg.JoinTimeout, n.joinTimedOut)
+	}
+	msg := wire.Routed{
+		Key:     n.ref.ID,
+		Payload: wire.JoinRequest{New: n.ref},
+		Origin:  n.ref,
+		Nonce:   n.nextNonce(),
+	}
+	n.mu.Unlock()
+	n.tr.Send(seed, msg)
+}
+
+func (n *Node) joinTimedOut() {
+	n.mu.Lock()
+	done := n.joinDone
+	n.joinDone = nil
+	joined := n.joined
+	n.mu.Unlock()
+	if done != nil && !joined {
+		done(ErrJoinTimeout)
+	}
+}
+
+func (n *Node) nextNonce() uint64 {
+	n.nonceSeq++
+	return uint64(n.rng.Int63())<<8 | n.nonceSeq&0xff
+}
+
+// Route injects a message keyed by key into the overlay from this node.
+func (n *Node) Route(key id.Node, payload wire.Msg) {
+	n.mu.Lock()
+	r := wire.Routed{Key: key, Payload: payload, Origin: n.ref, Nonce: n.nextNonce()}
+	acts := n.handleRouted(n.ref.Addr, r)
+	n.mu.Unlock()
+	run(acts)
+}
+
+// Send transmits an application message directly to a known node,
+// bypassing overlay routing (used for replies and replica transfer).
+func (n *Node) Send(to wire.NodeRef, m wire.Msg) {
+	n.tr.Send(to.Addr, m)
+}
+
+// Proximity exposes the transport's proximity metric.
+func (n *Node) Proximity(addr string) float64 { return n.tr.Proximity(addr) }
+
+// Clock exposes the node's clock for the application layer.
+func (n *Node) Clock() transport.Clock { return n.clock }
+
+// Rand returns a pseudo-random uint64 from the node's seeded stream.
+func (n *Node) Rand() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return uint64(n.rng.Int63())
+}
+
+// Reachable consults the transport-level failure detector (when
+// installed) so the application layer can avoid sending directly to dead
+// nodes; an unreachable peer is also purged from routing state.
+func (n *Node) Reachable(ref wire.NodeRef) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.reachable(ref) {
+		return true
+	}
+	n.removeDeadLocked(ref.ID)
+	return false
+}
+
+// LeafMembers returns the current leaf-set membership.
+func (n *Node) LeafMembers() []wire.NodeRef {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.leaf.Members()
+}
+
+// LeafSmaller returns the counter-clockwise leaf half, closest first.
+func (n *Node) LeafSmaller() []wire.NodeRef {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.leaf.Smaller()
+}
+
+// LeafLarger returns the clockwise leaf half, closest first.
+func (n *Node) LeafLarger() []wire.NodeRef {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.leaf.Larger()
+}
+
+// NeighborhoodMembers returns the proximity-based neighborhood set.
+func (n *Node) NeighborhoodMembers() []wire.NodeRef {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.nbhd.Members()
+}
+
+// StateSize returns the number of populated routing-table entries and the
+// leaf plus neighborhood membership counts (for experiment E6).
+func (n *Node) StateSize() (rt, leaf, nbhd int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.rt.Size(), n.leaf.Len(), n.nbhd.Len()
+}
+
+// RoutingTableRows returns the populated row count.
+func (n *Node) RoutingTableRows() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.rt.PopulatedRows()
+}
+
+// run executes deferred upcalls outside the node lock.
+func run(acts []func()) {
+	for _, a := range acts {
+		a()
+	}
+}
+
+// handle is the transport inbound entry point.
+func (n *Node) handle(from string, m wire.Msg) {
+	n.mu.Lock()
+	if !n.alive && !n.joined {
+		// A node that has not started participating ignores traffic.
+		n.mu.Unlock()
+		return
+	}
+	var acts []func()
+	switch msg := m.(type) {
+	case wire.Routed:
+		acts = n.handleRouted(from, msg)
+	case wire.RouteRows:
+		acts = n.handleRouteRows(msg)
+	case wire.LeafSetReply:
+		acts = n.handleLeafSetReply(msg)
+	case wire.LeafSetRequest:
+		n.noteAlive(msg.From)
+		n.tr.Send(msg.From.Addr, wire.LeafSetReply{From: n.ref, Leaves: n.leaf.Members()})
+	case wire.NeighborhoodReply:
+		acts = n.handleNeighborhoodReply(msg)
+	case wire.Announce:
+		acts = n.handleAnnounce(msg)
+	case wire.Heartbeat:
+		n.noteAlive(msg.From)
+	case wire.Ping:
+		n.tr.Send(msg.From.Addr, wire.Pong{From: n.ref, Nonce: msg.Nonce})
+	case wire.Pong:
+		n.noteAlive(msg.From)
+	case wire.RTRepairRequest:
+		n.handleRTRepairRequest(msg)
+	case wire.RTRepairReply:
+		n.handleRTRepairReply(msg)
+	default:
+		ref := wire.NodeRef{Addr: from}
+		app := n.app
+		n.mu.Unlock()
+		app.HandleDirect(ref, m)
+		return
+	}
+	n.mu.Unlock()
+	run(acts)
+}
+
+// noteAlive records direct evidence of life (a message from the node
+// itself) and folds the node into local state. Lock held.
+func (n *Node) noteAlive(ref wire.NodeRef) {
+	if ref.IsZero() || ref.ID == n.ref.ID {
+		return
+	}
+	delete(n.suspect, ref.ID) // direct contact clears suspicion
+	n.lastSeen[ref.ID] = n.clock.Now()
+	n.considerLocked(ref)
+}
+
+// suspected reports whether ref was recently declared dead and the
+// suspicion has not yet expired. Lock held.
+func (n *Node) suspected(nid id.Node) bool {
+	at, ok := n.suspect[nid]
+	if !ok {
+		return false
+	}
+	if n.clock.Now()-at > 3*n.cfg.FailTimeout {
+		delete(n.suspect, nid)
+		return false
+	}
+	return true
+}
+
+// considerLocked folds ref into the routing table, leaf set and
+// neighborhood set. Suspected-dead nodes are ignored. It returns whether
+// the leaf set changed. Lock held.
+func (n *Node) considerLocked(ref wire.NodeRef) bool {
+	if ref.IsZero() || ref.ID == n.ref.ID || n.suspected(ref.ID) {
+		return false
+	}
+	prox := n.tr.Proximity(ref.Addr)
+	n.rt.Consider(ref, prox)
+	n.nbhd.Consider(ref, prox)
+	return n.leaf.Consider(ref)
+}
+
+// ---------------------------------------------------------------------------
+// Routing
+
+// handleRouted implements the routing procedure of section 2.2. Lock held;
+// returns deferred upcalls.
+func (n *Node) handleRouted(from string, r wire.Routed) []func() {
+	if jr, ok := r.Payload.(wire.JoinRequest); ok {
+		return n.handleJoinRouted(from, r, jr)
+	}
+	next, deliver := n.nextHop(r.Key)
+	if deliver {
+		app := n.app
+		fromRef := wire.NodeRef{Addr: from}
+		return []func(){func() { app.Deliver(r, fromRef) }}
+	}
+	app := n.app
+	fwd := r
+	fwd.Hops++
+	fwd.Distance += n.tr.Proximity(next.Addr)
+	tr := n.tr
+	return []func(){func() {
+		if app.Forward(&fwd, next) {
+			tr.Send(next.Addr, fwd)
+		}
+	}}
+}
+
+// nextHop picks the routing target for key per section 2.2: the leaf set
+// when key is within its span, otherwise a routing-table entry with a
+// longer shared prefix, otherwise any known node with an equal-length
+// prefix that is numerically closer ("rare case"). Lock held.
+func (n *Node) nextHop(key id.Node) (next wire.NodeRef, deliver bool) {
+	if key == n.ref.ID {
+		return wire.NodeRef{}, true
+	}
+	if n.cfg.Randomize {
+		return n.nextHopRandomized(key)
+	}
+	if n.leaf.InRange(key) {
+		best, selfBest := n.leaf.Closest(key)
+		if selfBest {
+			return wire.NodeRef{}, true
+		}
+		if n.reachable(best) {
+			return best, false
+		}
+		n.failedPeer(best)
+	}
+	if e, ok := n.rt.Lookup(key); ok {
+		if n.reachable(e) {
+			return e, false
+		}
+		n.failedPeer(e)
+	}
+	// Rare case: any known node with prefix >= ours that is numerically
+	// closer to the key.
+	if c, ok := n.rareCase(key); ok {
+		return c, false
+	}
+	return wire.NodeRef{}, true
+}
+
+// rareCase scans all known nodes for an admissible next hop. Lock held.
+func (n *Node) rareCase(key id.Node) (wire.NodeRef, bool) {
+	myPrefix := id.CommonPrefix(n.ref.ID, key, n.cfg.B)
+	var best wire.NodeRef
+	found := false
+	for _, c := range n.candidates() {
+		if id.CommonPrefix(c.ID, key, n.cfg.B) < myPrefix {
+			continue
+		}
+		if !id.Closer(key, c.ID, n.ref.ID) {
+			continue
+		}
+		if !found || id.Closer(key, c.ID, best.ID) {
+			if n.reachable(c) {
+				best = c
+				found = true
+			} else {
+				n.failedPeer(c)
+			}
+		}
+	}
+	return best, found
+}
+
+// candidates lists every node in local state, deduplicated. Lock held.
+func (n *Node) candidates() []wire.NodeRef {
+	seen := make(map[id.Node]bool, 64)
+	var out []wire.NodeRef
+	add := func(refs []wire.NodeRef) {
+		for _, c := range refs {
+			if !c.IsZero() && c.ID != n.ref.ID && !seen[c.ID] {
+				seen[c.ID] = true
+				out = append(out, c)
+			}
+		}
+	}
+	add(n.leaf.Members())
+	add(n.rt.All(nil))
+	add(n.nbhd.Members())
+	return out
+}
+
+// nextHopRandomized implements the fault-tolerant randomized routing of
+// section 2.2: any node that shares at least as long a prefix with the key
+// and is numerically closer than this node is admissible; the choice is
+// heavily biased towards the best (longest prefix, then proximity). The
+// final approach still goes through the leaf set deterministically — the
+// prefix constraint alone cannot cross a digit boundary to the true
+// numerically closest node (e.g. key 0x7ff… owned by 0x800…). Lock held.
+func (n *Node) nextHopRandomized(key id.Node) (wire.NodeRef, bool) {
+	if n.leaf.InRange(key) {
+		best, selfBest := n.leaf.Closest(key)
+		if selfBest {
+			return wire.NodeRef{}, true
+		}
+		if n.reachable(best) {
+			return best, false
+		}
+		n.failedPeer(best)
+	}
+	myPrefix := id.CommonPrefix(n.ref.ID, key, n.cfg.B)
+	type cand struct {
+		ref    wire.NodeRef
+		prefix int
+		prox   float64
+	}
+	var cands []cand
+	for _, c := range n.candidates() {
+		p := id.CommonPrefix(c.ID, key, n.cfg.B)
+		if p < myPrefix || !id.Closer(key, c.ID, n.ref.ID) {
+			continue
+		}
+		if !n.reachable(c) {
+			n.failedPeer(c)
+			continue
+		}
+		cands = append(cands, cand{c, p, n.tr.Proximity(c.Addr)})
+	}
+	if len(cands) == 0 {
+		// No prefix-qualifying candidate: take any strictly
+		// numerically-closer node (numeric distance decreases every hop,
+		// so this cannot loop), else deliver here.
+		var best wire.NodeRef
+		found := false
+		for _, c := range n.candidates() {
+			if !id.Closer(key, c.ID, n.ref.ID) {
+				continue
+			}
+			if !found || id.Closer(key, c.ID, best.ID) {
+				if n.reachable(c) {
+					best = c
+					found = true
+				} else {
+					n.failedPeer(c)
+				}
+			}
+		}
+		if found {
+			return best, false
+		}
+		return wire.NodeRef{}, true
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].prefix != cands[j].prefix {
+			return cands[i].prefix > cands[j].prefix
+		}
+		if id.Closer(key, cands[i].ref.ID, cands[j].ref.ID) {
+			return true
+		}
+		if id.Closer(key, cands[j].ref.ID, cands[i].ref.ID) {
+			return false
+		}
+		return cands[i].prox < cands[j].prox
+	})
+	// Geometric selection biased towards the head of the ranking.
+	bias := n.cfg.Bias
+	if bias <= 0 || bias >= 1 {
+		bias = 0.85
+	}
+	idx := 0
+	for idx < len(cands)-1 && n.rng.Float64() > bias {
+		idx++
+	}
+	return cands[idx].ref, false
+}
+
+// reachable consults the probe oracle. Lock held.
+func (n *Node) reachable(ref wire.NodeRef) bool {
+	if n.probe == nil {
+		return true
+	}
+	return n.probe(ref.Addr)
+}
+
+// failedPeer removes a peer that failed a reachability probe and starts
+// repair. Lock held.
+func (n *Node) failedPeer(ref wire.NodeRef) {
+	n.removeDeadLocked(ref.ID)
+}
+
+// ---------------------------------------------------------------------------
+// Join protocol (section 2.2, "Node addition")
+
+// handleJoinRouted processes a JoinRequest travelling toward the joining
+// node's id. Every node on the path contributes routing rows; the first
+// node contributes its neighborhood set; the final node contributes its
+// leaf set. Lock held.
+func (n *Node) handleJoinRouted(from string, r wire.Routed, jr wire.JoinRequest) []func() {
+	x := jr.New
+	if x.ID == n.ref.ID {
+		return nil // own join echoed back; ignore
+	}
+	// Contribute routing rows 0..p where p is the shared prefix length:
+	// row i of this node's table is valid as row i for X whenever the ids
+	// agree on the first i digits.
+	p := id.CommonPrefix(n.ref.ID, x.ID, n.cfg.B)
+	maxRow := n.rt.PopulatedRows()
+	if p+1 < maxRow {
+		maxRow = p + 1
+	}
+	rows := make([][]wire.NodeRef, 0, maxRow)
+	for i := 0; i < maxRow; i++ {
+		rows = append(rows, n.rt.Row(i))
+	}
+	n.tr.Send(x.Addr, wire.RouteRows{From: n.ref, FirstRow: 0, Rows: rows})
+	if r.Hops == 0 {
+		// This is node A, the join seed: contribute the neighborhood set.
+		n.tr.Send(x.Addr, wire.NeighborhoodReply{From: n.ref, Neighbors: n.nbhd.Members()})
+	}
+	next, deliver := n.nextHop(x.ID)
+	if deliver {
+		// This is node Z, numerically closest to X: contribute the leaf set.
+		n.tr.Send(x.Addr, wire.LeafSetReply{From: n.ref, Leaves: n.leaf.Members(), Terminal: true})
+		return nil
+	}
+	fwd := r
+	fwd.Hops++
+	fwd.Distance += n.tr.Proximity(next.Addr)
+	n.tr.Send(next.Addr, fwd)
+	return nil
+}
+
+// handleRouteRows folds received rows into the joining node's state. Lock
+// held.
+func (n *Node) handleRouteRows(m wire.RouteRows) []func() {
+	n.noteJoinContact(m.From)
+	for _, row := range m.Rows {
+		for _, ref := range row {
+			n.noteJoinContact(ref)
+		}
+	}
+	return nil
+}
+
+// noteJoinContact records a node discovered during join. Lock held.
+func (n *Node) noteJoinContact(ref wire.NodeRef) {
+	if ref.IsZero() || ref.ID == n.ref.ID {
+		return
+	}
+	if n.joinSeen != nil {
+		n.joinSeen[ref.ID] = true
+	}
+	n.considerLocked(ref)
+	n.lastSeen[ref.ID] = n.clock.Now()
+}
+
+// handleNeighborhoodReply folds node A's neighborhood set in. Lock held.
+func (n *Node) handleNeighborhoodReply(m wire.NeighborhoodReply) []func() {
+	n.noteJoinContact(m.From)
+	for _, ref := range m.Neighbors {
+		n.noteJoinContact(ref)
+	}
+	return nil
+}
+
+// handleLeafSetReply completes a join (Terminal) or merges a repair
+// response. Lock held.
+func (n *Node) handleLeafSetReply(m wire.LeafSetReply) []func() {
+	changed := false
+	if n.considerLocked(m.From) {
+		changed = true
+	}
+	n.lastSeen[m.From.ID] = n.clock.Now()
+	for _, ref := range m.Leaves {
+		if ref.ID == n.ref.ID {
+			continue
+		}
+		if n.joinSeen != nil && !n.joined {
+			n.noteJoinContact(ref)
+		}
+		if n.considerLocked(ref) {
+			changed = true
+		}
+		n.lastSeen[ref.ID] = n.clock.Now()
+	}
+	var acts []func()
+	if m.Terminal && !n.joined {
+		acts = append(acts, n.completeJoinLocked()...)
+	}
+	if changed {
+		app := n.app
+		acts = append(acts, app.LeafSetChanged)
+	}
+	return acts
+}
+
+// completeJoinLocked finishes the join: announce arrival to every node
+// discovered, start keep-alives, invoke the done callback. Lock held.
+func (n *Node) completeJoinLocked() []func() {
+	n.joined = true
+	if n.joinTimer != nil {
+		n.joinTimer.Stop()
+		n.joinTimer = nil
+	}
+	targets := make([]wire.NodeRef, 0, len(n.joinSeen))
+	seen := make(map[id.Node]bool, len(n.joinSeen))
+	for _, c := range n.candidates() {
+		if !seen[c.ID] {
+			seen[c.ID] = true
+			targets = append(targets, c)
+		}
+	}
+	n.joinSeen = nil
+	ann := wire.Announce{From: n.ref}
+	for _, t := range targets {
+		n.tr.Send(t.Addr, ann)
+	}
+	done := n.joinDone
+	n.joinDone = nil
+	acts := []func(){n.startKeepAlive}
+	if done != nil {
+		acts = append(acts, func() { done(nil) })
+	}
+	return acts
+}
+
+// handleAnnounce folds a newly joined node into local state. Lock held.
+func (n *Node) handleAnnounce(m wire.Announce) []func() {
+	n.lastSeen[m.From.ID] = n.clock.Now()
+	if n.considerLocked(m.From) {
+		app := n.app
+		return []func(){app.LeafSetChanged}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Failure detection and repair (section 2.2, "Node addition and failure")
+
+func (n *Node) startKeepAlive() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.cfg.KeepAlive <= 0 || n.kaTimer != nil {
+		return
+	}
+	n.kaTimer = n.clock.AfterFunc(n.cfg.KeepAlive, n.keepAliveTick)
+}
+
+func (n *Node) keepAliveTick() {
+	n.mu.Lock()
+	if !n.alive {
+		n.mu.Unlock()
+		return
+	}
+	now := n.clock.Now()
+	members := n.leaf.Members()
+	hb := wire.Heartbeat{From: n.ref}
+	var dead []wire.NodeRef
+	for _, m := range members {
+		last, ok := n.lastSeen[m.ID]
+		if !ok {
+			// First sighting without traffic: start the silence clock.
+			n.lastSeen[m.ID] = now
+		} else if now-last > n.cfg.FailTimeout {
+			dead = append(dead, m)
+			continue
+		}
+		n.tr.Send(m.Addr, hb)
+	}
+	var acts []func()
+	for _, d := range dead {
+		acts = append(acts, n.declareDeadLocked(d)...)
+	}
+	n.kaTimer = n.clock.AfterFunc(n.cfg.KeepAlive, n.keepAliveTick)
+	n.mu.Unlock()
+	run(acts)
+}
+
+// DeclareDead lets the application layer report a node it found
+// unresponsive (e.g. a fetch that timed out).
+func (n *Node) DeclareDead(ref wire.NodeRef) {
+	n.mu.Lock()
+	acts := n.declareDeadLocked(ref)
+	n.mu.Unlock()
+	run(acts)
+}
+
+// declareDeadLocked removes a failed node and repairs the leaf set by
+// asking the extreme live member on the failed node's side for its leaf
+// set. Lock held.
+func (n *Node) declareDeadLocked(ref wire.NodeRef) []func() {
+	clockwise := n.leaf.SideOf(ref.ID)
+	if !n.removeDeadLocked(ref.ID) {
+		return nil
+	}
+	if ext, ok := n.leaf.Extreme(clockwise); ok && ext.ID != ref.ID {
+		n.tr.Send(ext.Addr, wire.LeafSetRequest{From: n.ref})
+	} else if ext, ok := n.leaf.Extreme(!clockwise); ok {
+		n.tr.Send(ext.Addr, wire.LeafSetRequest{From: n.ref})
+	}
+	app := n.app
+	return []func(){app.LeafSetChanged}
+}
+
+// removeDeadLocked purges a node from all local state and requests a lazy
+// routing-table repair for the vacated slot. Lock held.
+func (n *Node) removeDeadLocked(dead id.Node) bool {
+	n.suspect[dead] = n.clock.Now()
+	inLeaf := n.leaf.Remove(dead)
+	row, col, ok := n.rt.coords(dead)
+	inRT := n.rt.Remove(dead)
+	n.nbhd.Remove(dead)
+	delete(n.lastSeen, dead)
+	if inRT && ok {
+		n.requestRTRepairLocked(row, col)
+	}
+	return inLeaf || inRT
+}
+
+// requestRTRepairLocked asks peers for a replacement entry matching
+// (row, col) relative to this node's id: first same-row entries, then leaf
+// members (the paper's lazy repair). Lock held.
+func (n *Node) requestRTRepairLocked(row, col int) {
+	req := wire.RTRepairRequest{From: n.ref, Row: row, Col: col}
+	sent := 0
+	for _, e := range n.rt.Row(row) {
+		if sent >= 2 {
+			break
+		}
+		n.tr.Send(e.Addr, req)
+		sent++
+	}
+	if sent == 0 {
+		for _, m := range n.leaf.Members() {
+			if sent >= 2 {
+				break
+			}
+			n.tr.Send(m.Addr, req)
+			sent++
+		}
+	}
+}
+
+// handleRTRepairRequest searches local state for a node matching the
+// requester's (row, col) pattern: shares `row` digits with the requester
+// and has digit `col` at position row. Lock held.
+func (n *Node) handleRTRepairRequest(m wire.RTRepairRequest) {
+	want := wire.NodeRef{}
+	for _, c := range n.candidates() {
+		if c.ID == m.From.ID {
+			continue
+		}
+		if id.CommonPrefix(c.ID, m.From.ID, n.cfg.B) >= m.Row && c.ID.Digit(m.Row, n.cfg.B) == m.Col {
+			want = c
+			break
+		}
+	}
+	// Also consider this node itself.
+	if want.IsZero() &&
+		id.CommonPrefix(n.ref.ID, m.From.ID, n.cfg.B) >= m.Row &&
+		n.ref.ID.Digit(m.Row, n.cfg.B) == m.Col {
+		want = n.ref
+	}
+	n.tr.Send(m.From.Addr, wire.RTRepairReply{From: n.ref, Row: m.Row, Col: m.Col, Entry: want})
+}
+
+// handleRTRepairReply folds a repair candidate into the table. Lock held.
+func (n *Node) handleRTRepairReply(m wire.RTRepairReply) {
+	n.noteAlive(m.From)
+	if !m.Entry.IsZero() && m.Entry.ID != n.ref.ID {
+		n.considerLocked(m.Entry)
+	}
+}
+
+// Leave shuts the node down silently (it stops responding), modelling the
+// paper's "nodes may silently leave the system without warning". The
+// node's state is retained so Recover can bring it back.
+func (n *Node) Leave() {
+	n.mu.Lock()
+	n.alive = false
+	n.joined = false
+	if n.kaTimer != nil {
+		n.kaTimer.Stop()
+		n.kaTimer = nil
+	}
+	n.mu.Unlock()
+}
+
+// Recover implements the recovery protocol of section 2.2: "a recovering
+// node contacts the nodes in its last known leaf set, obtains their
+// current leaf sets, updates its own leaf set and then notifies the
+// members of its presence". Peers will have declared this node dead while
+// it was gone; the Announce makes them re-admit it (direct contact clears
+// their suspicion) and triggers their LeafSetChanged upcalls, so the
+// storage layer restores any replicas this node should hold.
+func (n *Node) Recover() {
+	n.mu.Lock()
+	n.alive = true
+	n.joined = true
+	known := n.leaf.Members()
+	// The world moved on while we were gone: our view of who is alive is
+	// stale, so restart the silence clocks.
+	n.lastSeen = make(map[id.Node]time.Duration)
+	n.suspect = make(map[id.Node]time.Duration)
+	req := wire.LeafSetRequest{From: n.ref}
+	ann := wire.Announce{From: n.ref}
+	for _, m := range known {
+		n.tr.Send(m.Addr, req)
+		n.tr.Send(m.Addr, ann)
+	}
+	n.mu.Unlock()
+	n.startKeepAlive()
+}

@@ -1,0 +1,409 @@
+// Package pastry implements the Pastry location and routing scheme used by
+// PAST (section 2.2 of the paper): prefix-based routing in a circular
+// 128-bit nodeId space, a routing table with ceil(128/b) rows of 2^b-1
+// entries, a leaf set of the l numerically closest nodes, a neighborhood
+// set of proximally close nodes, the self-organizing join protocol, leaf
+// keep-alive failure detection with repair, lazy routing-table repair, and
+// the randomized fault-tolerant routing variant.
+package pastry
+
+import (
+	"sort"
+
+	"past/internal/id"
+	"past/internal/wire"
+)
+
+// entry is a routing-state slot: a node reference plus its proximity
+// (the scalar metric of section 1) as measured from the owning node.
+type entry struct {
+	ref  wire.NodeRef
+	prox float64
+}
+
+// ---------------------------------------------------------------------------
+// Routing table
+
+// RoutingTable is the prefix-routing structure of section 2.2: row n holds
+// nodes whose nodeIds share the first n digits with the owner but differ in
+// digit n. Rows are allocated lazily; in a network of N nodes only about
+// log_2b N rows ever populate.
+type RoutingTable struct {
+	owner id.Node
+	b     int
+	rows  [][]entry
+}
+
+// NewRoutingTable creates an empty table for the given owner and digit
+// size b.
+func NewRoutingTable(owner id.Node, b int) *RoutingTable {
+	return &RoutingTable{owner: owner, b: b, rows: make([][]entry, id.NumDigits(b))}
+}
+
+// coords returns the (row, col) slot where ref belongs, or ok=false when
+// ref is the owner itself.
+func (t *RoutingTable) coords(n id.Node) (row, col int, ok bool) {
+	row = id.CommonPrefix(t.owner, n, t.b)
+	if row >= id.NumDigits(t.b) {
+		return 0, 0, false // same id as owner
+	}
+	return row, n.Digit(row, t.b), true
+}
+
+// Consider offers a node for inclusion. The slot keeps the proximally
+// closest candidate ("among such nodes, the one closest to the present
+// node, according to the proximity metric, is chosen", section 2.2).
+// It reports whether the entry was installed.
+func (t *RoutingTable) Consider(ref wire.NodeRef, prox float64) bool {
+	row, col, ok := t.coords(ref.ID)
+	if !ok {
+		return false
+	}
+	if t.rows[row] == nil {
+		t.rows[row] = make([]entry, 1<<t.b)
+	}
+	slot := &t.rows[row][col]
+	if slot.ref.IsZero() {
+		*slot = entry{ref, prox}
+		return true
+	}
+	if slot.ref.ID == ref.ID {
+		slot.ref.Addr = ref.Addr // refresh address
+		slot.prox = prox
+		return true
+	}
+	if prox < slot.prox {
+		*slot = entry{ref, prox}
+		return true
+	}
+	return false
+}
+
+// Get returns the entry at (row, col) and whether it is populated.
+func (t *RoutingTable) Get(row, col int) (wire.NodeRef, bool) {
+	if row < 0 || row >= len(t.rows) || t.rows[row] == nil {
+		return wire.NodeRef{}, false
+	}
+	if col < 0 || col >= len(t.rows[row]) {
+		return wire.NodeRef{}, false
+	}
+	e := t.rows[row][col]
+	return e.ref, !e.ref.IsZero()
+}
+
+// Lookup returns the next-hop entry for key: the slot at row = shared
+// prefix length, column = key's next digit.
+func (t *RoutingTable) Lookup(key id.Node) (wire.NodeRef, bool) {
+	row := id.CommonPrefix(t.owner, key, t.b)
+	if row >= id.NumDigits(t.b) {
+		return wire.NodeRef{}, false
+	}
+	return t.Get(row, key.Digit(row, t.b))
+}
+
+// Remove deletes the entry for node n, returning whether it was present.
+func (t *RoutingTable) Remove(n id.Node) bool {
+	row, col, ok := t.coords(n)
+	if !ok || t.rows[row] == nil {
+		return false
+	}
+	if t.rows[row][col].ref.ID != n {
+		return false
+	}
+	t.rows[row][col] = entry{}
+	return true
+}
+
+// Row returns a copy of row r's populated entries (used during joins).
+func (t *RoutingTable) Row(r int) []wire.NodeRef {
+	if r < 0 || r >= len(t.rows) || t.rows[r] == nil {
+		return nil
+	}
+	var out []wire.NodeRef
+	for _, e := range t.rows[r] {
+		if !e.ref.IsZero() {
+			out = append(out, e.ref)
+		}
+	}
+	return out
+}
+
+// NumRows returns the table's row capacity (ceil(128/b)).
+func (t *RoutingTable) NumRows() int { return len(t.rows) }
+
+// PopulatedRows returns the index one past the last non-empty row.
+func (t *RoutingTable) PopulatedRows() int {
+	last := 0
+	for i, row := range t.rows {
+		if row == nil {
+			continue
+		}
+		for _, e := range row {
+			if !e.ref.IsZero() {
+				last = i + 1
+				break
+			}
+		}
+	}
+	return last
+}
+
+// Size returns the number of populated entries, the quantity the paper
+// bounds by (2^b-1)·ceil(log_2b N).
+func (t *RoutingTable) Size() int {
+	n := 0
+	for _, row := range t.rows {
+		for _, e := range row {
+			if !e.ref.IsZero() {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// All appends every populated entry to dst and returns it.
+func (t *RoutingTable) All(dst []wire.NodeRef) []wire.NodeRef {
+	for _, row := range t.rows {
+		for _, e := range row {
+			if !e.ref.IsZero() {
+				dst = append(dst, e.ref)
+			}
+		}
+	}
+	return dst
+}
+
+// ---------------------------------------------------------------------------
+// Leaf set
+
+// LeafSet holds the l/2 numerically closest smaller and l/2 closest larger
+// nodeIds (section 2.2). In networks with fewer than l nodes the two
+// halves may contain the same nodes (the ring wraps).
+type LeafSet struct {
+	owner   id.Node
+	half    int
+	smaller []wire.NodeRef // sorted by counter-clockwise distance, closest first
+	larger  []wire.NodeRef // sorted by clockwise distance, closest first
+}
+
+// NewLeafSet creates an empty leaf set for owner with capacity l (split
+// into halves of l/2).
+func NewLeafSet(owner id.Node, l int) *LeafSet {
+	return &LeafSet{owner: owner, half: l / 2}
+}
+
+// Half returns l/2.
+func (s *LeafSet) Half() int { return s.half }
+
+// Consider offers a node for membership; it reports whether the set
+// changed. A node enters the smaller (larger) half when it is among the
+// half closest in counter-clockwise (clockwise) ring direction.
+func (s *LeafSet) Consider(ref wire.NodeRef) bool {
+	if ref.ID == s.owner || ref.IsZero() {
+		return false
+	}
+	a := s.considerSide(&s.larger, ref, true)
+	b := s.considerSide(&s.smaller, ref, false)
+	return a || b
+}
+
+func (s *LeafSet) considerSide(side *[]wire.NodeRef, ref wire.NodeRef, clockwise bool) bool {
+	dist := func(n id.Node) id.Node {
+		if clockwise {
+			return s.owner.CW(n)
+		}
+		return s.owner.CCW(n)
+	}
+	list := *side
+	for _, m := range list {
+		if m.ID == ref.ID {
+			return false
+		}
+	}
+	pos := sort.Search(len(list), func(i int) bool {
+		return dist(ref.ID).Cmp(dist(list[i].ID)) < 0
+	})
+	if pos >= s.half {
+		return false
+	}
+	list = append(list, wire.NodeRef{})
+	copy(list[pos+1:], list[pos:])
+	list[pos] = ref
+	if len(list) > s.half {
+		list = list[:s.half]
+	}
+	*side = list
+	return true
+}
+
+// Remove deletes node n from both halves, reporting whether it was present.
+func (s *LeafSet) Remove(n id.Node) bool {
+	removed := false
+	for _, side := range []*[]wire.NodeRef{&s.smaller, &s.larger} {
+		list := *side
+		for i := range list {
+			if list[i].ID == n {
+				*side = append(list[:i], list[i+1:]...)
+				removed = true
+				break
+			}
+		}
+	}
+	return removed
+}
+
+// Contains reports whether node n is a member.
+func (s *LeafSet) Contains(n id.Node) bool {
+	for _, m := range s.smaller {
+		if m.ID == n {
+			return true
+		}
+	}
+	for _, m := range s.larger {
+		if m.ID == n {
+			return true
+		}
+	}
+	return false
+}
+
+// Members returns the deduplicated membership (a node can sit in both
+// halves in small rings).
+func (s *LeafSet) Members() []wire.NodeRef {
+	out := make([]wire.NodeRef, 0, len(s.smaller)+len(s.larger))
+	seen := make(map[id.Node]bool, len(s.smaller)+len(s.larger))
+	for _, m := range s.larger {
+		if !seen[m.ID] {
+			seen[m.ID] = true
+			out = append(out, m)
+		}
+	}
+	for _, m := range s.smaller {
+		if !seen[m.ID] {
+			seen[m.ID] = true
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// Len returns the number of distinct members.
+func (s *LeafSet) Len() int { return len(s.Members()) }
+
+// InRange reports whether key falls within the leaf set's span: between
+// the farthest smaller member and the farthest larger member (inclusive),
+// measured around the ring from the owner. An empty set covers only the
+// owner itself.
+func (s *LeafSet) InRange(key id.Node) bool {
+	if key == s.owner {
+		return true
+	}
+	// When either side is unfilled the set spans the whole ring (the
+	// network is smaller than l/2 per side).
+	if len(s.smaller) < s.half || len(s.larger) < s.half {
+		return true
+	}
+	lo := s.smaller[len(s.smaller)-1].ID
+	hi := s.larger[len(s.larger)-1].ID
+	// key ∈ [lo, owner] ∪ [owner, hi] going clockwise.
+	return id.Between(key, lo, s.owner) || id.Between(key, s.owner, hi) || key == lo
+}
+
+// Closest returns the member numerically closest to key, considering the
+// owner as well; selfBest reports whether the owner itself is closest.
+func (s *LeafSet) Closest(key id.Node) (best wire.NodeRef, selfBest bool) {
+	bestID := s.owner
+	selfBest = true
+	for _, m := range s.Members() {
+		if id.Closer(key, m.ID, bestID) {
+			bestID = m.ID
+			best = m
+			selfBest = false
+		}
+	}
+	return best, selfBest
+}
+
+// Extreme returns the farthest member on one side (clockwise = larger),
+// used to repair the leaf set after a failure ("contacts the live node
+// with the largest index on the side of the failed node", section 2.2).
+func (s *LeafSet) Extreme(clockwise bool) (wire.NodeRef, bool) {
+	side := s.smaller
+	if clockwise {
+		side = s.larger
+	}
+	if len(side) == 0 {
+		return wire.NodeRef{}, false
+	}
+	return side[len(side)-1], true
+}
+
+// SideOf reports whether n sits clockwise (larger) of the owner by the
+// shorter arc; used to decide which side a failed node belonged to.
+func (s *LeafSet) SideOf(n id.Node) (clockwise bool) {
+	return s.owner.CW(n).Cmp(s.owner.CCW(n)) <= 0
+}
+
+// Smaller and Larger expose copies of each half, closest first.
+func (s *LeafSet) Smaller() []wire.NodeRef { return append([]wire.NodeRef(nil), s.smaller...) }
+
+// Larger returns the clockwise half, closest first.
+func (s *LeafSet) Larger() []wire.NodeRef { return append([]wire.NodeRef(nil), s.larger...) }
+
+// ---------------------------------------------------------------------------
+// Neighborhood set
+
+// Neighborhood holds the m nodes proximally closest to the owner
+// (section 2.2). It is not used for routing but improves the locality of
+// routing-table entries and seeds joins.
+type Neighborhood struct {
+	cap     int
+	entries []entry // sorted by proximity, closest first
+}
+
+// NewNeighborhood creates an empty neighborhood set with capacity m.
+func NewNeighborhood(m int) *Neighborhood { return &Neighborhood{cap: m} }
+
+// Consider offers a node; the set keeps the m proximally closest.
+func (nb *Neighborhood) Consider(ref wire.NodeRef, prox float64) bool {
+	for i := range nb.entries {
+		if nb.entries[i].ref.ID == ref.ID {
+			return false
+		}
+	}
+	pos := sort.Search(len(nb.entries), func(i int) bool { return prox < nb.entries[i].prox })
+	if pos >= nb.cap {
+		return false
+	}
+	nb.entries = append(nb.entries, entry{})
+	copy(nb.entries[pos+1:], nb.entries[pos:])
+	nb.entries[pos] = entry{ref, prox}
+	if len(nb.entries) > nb.cap {
+		nb.entries = nb.entries[:nb.cap]
+	}
+	return true
+}
+
+// Remove deletes node n, reporting whether it was present.
+func (nb *Neighborhood) Remove(n id.Node) bool {
+	for i := range nb.entries {
+		if nb.entries[i].ref.ID == n {
+			nb.entries = append(nb.entries[:i], nb.entries[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Members returns the neighborhood, proximally closest first.
+func (nb *Neighborhood) Members() []wire.NodeRef {
+	out := make([]wire.NodeRef, len(nb.entries))
+	for i, e := range nb.entries {
+		out[i] = e.ref
+	}
+	return out
+}
+
+// Len returns the number of members.
+func (nb *Neighborhood) Len() int { return len(nb.entries) }

@@ -1,0 +1,347 @@
+// Package simnet is a deterministic discrete-event network simulator.
+//
+// A Net owns a virtual clock and an event heap. Each simulated node gets an
+// endpoint implementing transport.Transport; message latency between
+// endpoints comes from a topology proximity metric. Fault injection covers
+// silent node crashes, message loss, per-node drop filters (for the
+// malicious-node experiment of section 2.2, "Fault-tolerance") and
+// partition-style unreachability.
+//
+// The simulator is single-threaded: all handlers and timer callbacks run on
+// the goroutine that calls Run/RunFor/RunUntilIdle, in timestamp order with
+// a deterministic tiebreak, so every experiment is exactly reproducible
+// from its seed.
+package simnet
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"past/internal/transport"
+	"past/internal/wire"
+)
+
+// Config controls simulator behaviour.
+type Config struct {
+	// Seed drives all randomness (jitter, loss).
+	Seed int64
+	// DropProb is the probability any message is silently lost.
+	DropProb float64
+	// JitterFrac scales latency jitter: actual = d * (1 + U[0,JitterFrac)).
+	JitterFrac float64
+	// MinLatency is a floor on delivery latency (e.g. local processing).
+	MinLatency time.Duration
+}
+
+// Distance tells the simulator the proximity between two endpoints,
+// in milliseconds. Typically topology.Topology.Distance.
+type Distance func(a, b int) float64
+
+// Net is a simulated network.
+type Net struct {
+	cfg      Config
+	rng      *rand.Rand
+	now      time.Duration
+	events   eventHeap
+	seq      uint64
+	eps      []*Endpoint
+	dist     Distance
+	msgCount uint64
+	byKind   map[string]uint64
+	// TraceFn, if set, observes every delivered message.
+	TraceFn func(at time.Duration, from, to string, m wire.Msg)
+}
+
+// New creates a simulated network whose latency comes from dist.
+func New(cfg Config, dist Distance) *Net {
+	if dist == nil {
+		dist = func(a, b int) float64 { return 1 }
+	}
+	return &Net{
+		cfg:    cfg,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		dist:   dist,
+		byKind: make(map[string]uint64),
+	}
+}
+
+// Addr formats the simulator address of endpoint index i.
+func Addr(i int) string { return fmt.Sprintf("sim:%d", i) }
+
+// Index parses an endpoint index out of a simulator address.
+func Index(addr string) (int, error) {
+	var i int
+	if _, err := fmt.Sscanf(addr, "sim:%d", &i); err != nil {
+		return 0, fmt.Errorf("simnet: bad address %q: %w", addr, err)
+	}
+	return i, nil
+}
+
+// NewEndpoint creates the next endpoint. Endpoints are identified by dense
+// indices that must correspond to the node indices used by the Distance
+// function.
+func (n *Net) NewEndpoint() *Endpoint {
+	ep := &Endpoint{net: n, idx: len(n.eps), up: true}
+	n.eps = append(n.eps, ep)
+	return ep
+}
+
+// Endpoint returns endpoint i.
+func (n *Net) Endpoint(i int) *Endpoint { return n.eps[i] }
+
+// NumEndpoints returns the number of endpoints created so far.
+func (n *Net) NumEndpoints() int { return len(n.eps) }
+
+// Now returns the current virtual time.
+func (n *Net) Now() time.Duration { return n.now }
+
+// Messages returns the total number of messages delivered so far.
+func (n *Net) Messages() uint64 { return n.msgCount }
+
+// MessagesByKind returns a copy of the per-kind delivery counters.
+func (n *Net) MessagesByKind() map[string]uint64 {
+	out := make(map[string]uint64, len(n.byKind))
+	for k, v := range n.byKind {
+		out[k] = v
+	}
+	return out
+}
+
+// ResetCounters zeroes the message counters (topology and time are kept).
+func (n *Net) ResetCounters() {
+	n.msgCount = 0
+	n.byKind = make(map[string]uint64)
+}
+
+// schedule enqueues fn at absolute virtual time at.
+func (n *Net) schedule(at time.Duration, fn func()) *event {
+	if at < n.now {
+		at = n.now
+	}
+	ev := &event{at: at, seq: n.seq, fn: fn}
+	n.seq++
+	heap.Push(&n.events, ev)
+	return ev
+}
+
+// AfterFunc implements clock scheduling on the virtual timeline.
+func (n *Net) AfterFunc(d time.Duration, f func()) transport.Timer {
+	return &simTimer{ev: n.schedule(n.now+d, f)}
+}
+
+// Clock returns the simulation's virtual clock.
+func (n *Net) Clock() transport.Clock { return simClock{n} }
+
+type simClock struct{ n *Net }
+
+func (c simClock) Now() time.Duration { return c.n.now }
+func (c simClock) AfterFunc(d time.Duration, f func()) transport.Timer {
+	return c.n.AfterFunc(d, f)
+}
+
+type simTimer struct{ ev *event }
+
+func (t *simTimer) Stop() bool {
+	if t.ev.cancelled || t.ev.done {
+		return false
+	}
+	t.ev.cancelled = true
+	return true
+}
+
+// Step executes the next pending event. It reports false when the queue is
+// empty.
+func (n *Net) Step() bool {
+	for n.events.Len() > 0 {
+		ev := heap.Pop(&n.events).(*event)
+		if ev.cancelled {
+			continue
+		}
+		n.now = ev.at
+		ev.done = true
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// RunUntilIdle processes events until none remain. Protocols with periodic
+// timers never go idle; use RunFor for those.
+func (n *Net) RunUntilIdle() {
+	for n.Step() {
+	}
+}
+
+// RunFor processes events until virtual time advances past now+d. Events
+// scheduled at later times remain queued.
+func (n *Net) RunFor(d time.Duration) {
+	deadline := n.now + d
+	for n.events.Len() > 0 {
+		next := n.events[0]
+		if next.cancelled {
+			heap.Pop(&n.events)
+			continue
+		}
+		if next.at > deadline {
+			break
+		}
+		n.Step()
+	}
+	n.now = deadline
+}
+
+// RunUntil processes events while cond stays false, up to a safety cap of
+// maxEvents. It reports whether cond became true.
+func (n *Net) RunUntil(cond func() bool, maxEvents int) bool {
+	for i := 0; i < maxEvents; i++ {
+		if cond() {
+			return true
+		}
+		if !n.Step() {
+			return cond()
+		}
+	}
+	return cond()
+}
+
+// Latency returns the (jittered) delivery latency between endpoints.
+func (n *Net) latency(a, b int) time.Duration {
+	ms := n.dist(a, b)
+	d := time.Duration(ms * float64(time.Millisecond))
+	if n.cfg.JitterFrac > 0 {
+		d = time.Duration(float64(d) * (1 + n.rng.Float64()*n.cfg.JitterFrac))
+	}
+	if d < n.cfg.MinLatency {
+		d = n.cfg.MinLatency
+	}
+	return d
+}
+
+// ---------------------------------------------------------------------------
+// Endpoint
+
+// DropFilter inspects an outbound message and returns true to silently
+// drop it. Used to model malicious nodes that accept but do not forward
+// traffic.
+type DropFilter func(to string, m wire.Msg) bool
+
+// Endpoint implements transport.Transport inside a Net.
+type Endpoint struct {
+	net     *Net
+	idx     int
+	handler transport.Handler
+	up      bool
+	closed  bool
+	// sendFilter, if set, can suppress outbound messages.
+	sendFilter DropFilter
+}
+
+// Addr implements transport.Transport.
+func (e *Endpoint) Addr() string { return Addr(e.idx) }
+
+// Index returns the endpoint's dense index.
+func (e *Endpoint) Index() int { return e.idx }
+
+// SetHandler implements transport.Transport.
+func (e *Endpoint) SetHandler(h transport.Handler) { e.handler = h }
+
+// SetSendFilter installs a malicious-behaviour filter on outbound traffic.
+func (e *Endpoint) SetSendFilter(f DropFilter) { e.sendFilter = f }
+
+// Up reports whether the endpoint is accepting traffic.
+func (e *Endpoint) Up() bool { return e.up && !e.closed }
+
+// Crash silently takes the node off the network: inbound and outbound
+// messages vanish, matching the paper's "nodes ... may silently leave the
+// system without warning".
+func (e *Endpoint) Crash() { e.up = false }
+
+// Restart brings a crashed node back.
+func (e *Endpoint) Restart() { e.up = true }
+
+// Send implements transport.Transport.
+func (e *Endpoint) Send(to string, m wire.Msg) error {
+	if e.closed {
+		return fmt.Errorf("simnet: endpoint %d closed", e.idx)
+	}
+	if !e.up {
+		return nil // a crashed node's sends vanish silently
+	}
+	if e.sendFilter != nil && e.sendFilter(to, m) {
+		return nil
+	}
+	dst, err := Index(to)
+	if err != nil {
+		return err
+	}
+	if dst < 0 || dst >= len(e.net.eps) {
+		return fmt.Errorf("simnet: no endpoint at %q", to)
+	}
+	n := e.net
+	if n.cfg.DropProb > 0 && n.rng.Float64() < n.cfg.DropProb {
+		return nil
+	}
+	from := e.Addr()
+	target := n.eps[dst]
+	n.schedule(n.now+n.latency(e.idx, dst), func() {
+		if !target.Up() || target.handler == nil {
+			return
+		}
+		n.msgCount++
+		n.byKind[m.Kind()]++
+		if n.TraceFn != nil {
+			n.TraceFn(n.now, from, to, m)
+		}
+		target.handler(from, m)
+	})
+	return nil
+}
+
+// Proximity implements transport.Transport using the topology metric,
+// standing in for a measured RTT.
+func (e *Endpoint) Proximity(to string) float64 {
+	dst, err := Index(to)
+	if err != nil || dst < 0 || dst >= len(e.net.eps) {
+		return 1e9
+	}
+	return e.net.dist(e.idx, dst)
+}
+
+// Close implements transport.Transport.
+func (e *Endpoint) Close() error {
+	e.closed = true
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Event heap
+
+type event struct {
+	at        time.Duration
+	seq       uint64
+	fn        func()
+	cancelled bool
+	done      bool
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,277 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+
+	"past/internal/wire"
+)
+
+type testMsg struct{ N int }
+
+func (testMsg) Kind() string { return "test" }
+
+func TestAddrRoundTrip(t *testing.T) {
+	i, err := Index(Addr(42))
+	if err != nil || i != 42 {
+		t.Fatalf("Index(Addr(42)) = %d, %v", i, err)
+	}
+	if _, err := Index("tcp:foo"); err == nil {
+		t.Fatal("bad address should error")
+	}
+}
+
+func TestDeliveryOrderAndLatency(t *testing.T) {
+	// Distance a->b is |a-b| ms.
+	n := New(Config{Seed: 1}, func(a, b int) float64 {
+		d := a - b
+		if d < 0 {
+			d = -d
+		}
+		return float64(d)
+	})
+	a := n.NewEndpoint()
+	b := n.NewEndpoint()
+	c := n.NewEndpoint()
+	var got []int
+	var at []time.Duration
+	sink := func(from string, m wire.Msg) {
+		got = append(got, m.(testMsg).N)
+		at = append(at, n.Now())
+	}
+	b.SetHandler(sink)
+	c.SetHandler(sink)
+	// a->c (2ms) sent first, a->b (1ms) second: b must deliver first.
+	if err := a.Send(c.Addr(), testMsg{2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(b.Addr(), testMsg{1}); err != nil {
+		t.Fatal(err)
+	}
+	n.RunUntilIdle()
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("delivery order %v, want [1 2]", got)
+	}
+	if at[0] != time.Millisecond || at[1] != 2*time.Millisecond {
+		t.Fatalf("delivery times %v", at)
+	}
+	if n.Messages() != 2 {
+		t.Fatalf("Messages = %d", n.Messages())
+	}
+	if n.MessagesByKind()["test"] != 2 {
+		t.Fatalf("by-kind counter wrong: %v", n.MessagesByKind())
+	}
+}
+
+func TestCrashDropsTraffic(t *testing.T) {
+	n := New(Config{Seed: 1}, nil)
+	a := n.NewEndpoint()
+	b := n.NewEndpoint()
+	delivered := 0
+	b.SetHandler(func(string, wire.Msg) { delivered++ })
+	b.Crash()
+	a.Send(b.Addr(), testMsg{1})
+	n.RunUntilIdle()
+	if delivered != 0 {
+		t.Fatal("crashed node received a message")
+	}
+	b.Restart()
+	a.Send(b.Addr(), testMsg{2})
+	n.RunUntilIdle()
+	if delivered != 1 {
+		t.Fatal("restarted node should receive")
+	}
+	// A crashed sender's messages vanish without error.
+	a.Crash()
+	if err := a.Send(b.Addr(), testMsg{3}); err != nil {
+		t.Fatalf("crashed sender Send: %v", err)
+	}
+	n.RunUntilIdle()
+	if delivered != 1 {
+		t.Fatal("message from crashed sender was delivered")
+	}
+}
+
+func TestSendFilterModelsMaliciousNode(t *testing.T) {
+	n := New(Config{Seed: 1}, nil)
+	a := n.NewEndpoint()
+	b := n.NewEndpoint()
+	got := 0
+	b.SetHandler(func(string, wire.Msg) { got++ })
+	a.SetSendFilter(func(to string, m wire.Msg) bool {
+		return m.(testMsg).N%2 == 0 // drop even payloads
+	})
+	for i := 0; i < 10; i++ {
+		a.Send(b.Addr(), testMsg{i})
+	}
+	n.RunUntilIdle()
+	if got != 5 {
+		t.Fatalf("filter delivered %d, want 5", got)
+	}
+}
+
+func TestDropProb(t *testing.T) {
+	n := New(Config{Seed: 42, DropProb: 0.5}, nil)
+	a := n.NewEndpoint()
+	b := n.NewEndpoint()
+	got := 0
+	b.SetHandler(func(string, wire.Msg) { got++ })
+	for i := 0; i < 1000; i++ {
+		a.Send(b.Addr(), testMsg{i})
+	}
+	n.RunUntilIdle()
+	if got < 400 || got > 600 {
+		t.Fatalf("with 50%% loss delivered %d of 1000", got)
+	}
+}
+
+func TestTimersAndStop(t *testing.T) {
+	n := New(Config{Seed: 1}, nil)
+	clk := n.Clock()
+	fired := []string{}
+	clk.AfterFunc(3*time.Millisecond, func() { fired = append(fired, "c") })
+	clk.AfterFunc(time.Millisecond, func() { fired = append(fired, "a") })
+	tm := clk.AfterFunc(2*time.Millisecond, func() { fired = append(fired, "b") })
+	if !tm.Stop() {
+		t.Fatal("Stop should report pending")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop should report not pending")
+	}
+	n.RunUntilIdle()
+	if len(fired) != 2 || fired[0] != "a" || fired[1] != "c" {
+		t.Fatalf("fired %v", fired)
+	}
+	if clk.Now() != 3*time.Millisecond {
+		t.Fatalf("clock at %v", clk.Now())
+	}
+}
+
+func TestRunFor(t *testing.T) {
+	n := New(Config{Seed: 1}, nil)
+	clk := n.Clock()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		clk.AfterFunc(10*time.Millisecond, tick)
+	}
+	clk.AfterFunc(10*time.Millisecond, tick)
+	n.RunFor(95 * time.Millisecond)
+	if count != 9 {
+		t.Fatalf("ticks = %d, want 9", count)
+	}
+	if n.Now() != 95*time.Millisecond {
+		t.Fatalf("RunFor should advance clock to deadline, got %v", n.Now())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	n := New(Config{Seed: 1}, nil)
+	a := n.NewEndpoint()
+	b := n.NewEndpoint()
+	got := 0
+	b.SetHandler(func(string, wire.Msg) { got++ })
+	for i := 0; i < 10; i++ {
+		a.Send(b.Addr(), testMsg{i})
+	}
+	ok := n.RunUntil(func() bool { return got >= 3 }, 1000)
+	if !ok || got < 3 {
+		t.Fatalf("RunUntil: ok=%v got=%d", ok, got)
+	}
+	if got >= 10 {
+		t.Fatal("RunUntil should stop early")
+	}
+}
+
+func TestSendErrors(t *testing.T) {
+	n := New(Config{Seed: 1}, nil)
+	a := n.NewEndpoint()
+	if err := a.Send("sim:99", testMsg{}); err == nil {
+		t.Fatal("send to unknown endpoint should error")
+	}
+	if err := a.Send("bogus", testMsg{}); err == nil {
+		t.Fatal("send to malformed address should error")
+	}
+	a.Close()
+	if err := a.Send(Addr(0), testMsg{}); err == nil {
+		t.Fatal("send on closed endpoint should error")
+	}
+}
+
+func TestProximity(t *testing.T) {
+	n := New(Config{Seed: 1}, func(a, b int) float64 { return float64(a + b) })
+	a := n.NewEndpoint()
+	b := n.NewEndpoint()
+	if got := a.Proximity(b.Addr()); got != 1 {
+		t.Fatalf("Proximity = %f", got)
+	}
+	if got := a.Proximity("bogus"); got < 1e8 {
+		t.Fatalf("bad address should be far away, got %f", got)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []int {
+		n := New(Config{Seed: 7, DropProb: 0.3, JitterFrac: 0.2}, func(a, b int) float64 { return 5 })
+		a := n.NewEndpoint()
+		b := n.NewEndpoint()
+		var got []int
+		b.SetHandler(func(from string, m wire.Msg) { got = append(got, m.(testMsg).N) })
+		for i := 0; i < 100; i++ {
+			a.Send(b.Addr(), testMsg{i})
+		}
+		n.RunUntilIdle()
+		return got
+	}
+	a := run()
+	b := run()
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic lengths %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic at %d", i)
+		}
+	}
+}
+
+func TestTraceFn(t *testing.T) {
+	n := New(Config{Seed: 1}, nil)
+	a := n.NewEndpoint()
+	b := n.NewEndpoint()
+	b.SetHandler(func(string, wire.Msg) {})
+	traces := 0
+	n.TraceFn = func(at time.Duration, from, to string, m wire.Msg) { traces++ }
+	a.Send(b.Addr(), testMsg{1})
+	n.RunUntilIdle()
+	if traces != 1 {
+		t.Fatalf("traces = %d", traces)
+	}
+}
+
+func TestResetCounters(t *testing.T) {
+	n := New(Config{Seed: 1}, nil)
+	a := n.NewEndpoint()
+	b := n.NewEndpoint()
+	b.SetHandler(func(string, wire.Msg) {})
+	a.Send(b.Addr(), testMsg{1})
+	n.RunUntilIdle()
+	n.ResetCounters()
+	if n.Messages() != 0 || len(n.MessagesByKind()) != 0 {
+		t.Fatal("counters not reset")
+	}
+}
+
+func BenchmarkSendDeliver(b *testing.B) {
+	n := New(Config{Seed: 1}, nil)
+	src := n.NewEndpoint()
+	dst := n.NewEndpoint()
+	dst.SetHandler(func(string, wire.Msg) {})
+	addr := dst.Addr()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src.Send(addr, testMsg{i})
+		n.Step()
+	}
+}

@@ -1,0 +1,138 @@
+package storage
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"past/internal/id"
+	"past/internal/wire"
+)
+
+// DiskStore persists a Store's contents under a directory so a storage
+// node can restart without losing its replicas (the paper's storage nodes
+// are long-lived disks; the simulator uses the in-memory Store).
+//
+// Layout: one <fileId>.bin per file plus a <fileId>.json sidecar holding
+// the certificate and diversion metadata. Writes go through a temp file +
+// rename so a crash mid-write never leaves a half-visible file.
+type DiskStore struct {
+	dir string
+	mem *Store // capacity accounting and index over the on-disk set
+}
+
+type diskMeta struct {
+	Cert     wire.FileCertificate `json:"cert"`
+	Diverted bool                 `json:"diverted"`
+	Primary  wire.NodeRef         `json:"primary"`
+}
+
+// OpenDiskStore opens (creating if needed) a disk store rooted at dir with
+// the given capacity. Existing contents are indexed and count against the
+// capacity; files that exceed it are not loaded.
+func OpenDiskStore(dir string, capacity int64) (*DiskStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: open disk store: %w", err)
+	}
+	ds := &DiskStore{dir: dir, mem: NewStore(capacity)}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("storage: scan disk store: %w", err)
+	}
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) != ".json" {
+			continue
+		}
+		meta, data, err := ds.load(e.Name()[:len(e.Name())-len(".json")])
+		if err != nil {
+			continue // skip corrupt entries; they are not served
+		}
+		_ = ds.mem.Put(Item{Cert: meta.Cert, Data: data, Diverted: meta.Diverted, Primary: meta.Primary})
+	}
+	return ds, nil
+}
+
+// Dir returns the store's root directory.
+func (ds *DiskStore) Dir() string { return ds.dir }
+
+// Mem returns the in-memory index (capacity, utilization, lookups run
+// against it; its contents mirror the directory).
+func (ds *DiskStore) Mem() *Store { return ds.mem }
+
+func (ds *DiskStore) paths(f id.File) (bin, meta string) {
+	name := f.String()
+	return filepath.Join(ds.dir, name+".bin"), filepath.Join(ds.dir, name+".json")
+}
+
+// Put stores an item durably, then indexes it.
+func (ds *DiskStore) Put(item Item) error {
+	if err := ds.mem.Put(item); err != nil {
+		return err
+	}
+	if err := ds.persist(item); err != nil {
+		ds.mem.Delete(item.Cert.FileID) //nolint:errcheck // rollback of a just-inserted key
+		return err
+	}
+	return nil
+}
+
+func (ds *DiskStore) persist(item Item) error {
+	bin, meta := ds.paths(item.Cert.FileID)
+	if err := atomicWrite(bin, item.Data); err != nil {
+		return err
+	}
+	m, err := json.Marshal(diskMeta{Cert: item.Cert, Diverted: item.Diverted, Primary: item.Primary})
+	if err != nil {
+		return err
+	}
+	return atomicWrite(meta, m)
+}
+
+func atomicWrite(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("storage: write %s: %w", path, err)
+	}
+	return os.Rename(tmp, path)
+}
+
+func (ds *DiskStore) load(name string) (diskMeta, []byte, error) {
+	var meta diskMeta
+	mb, err := os.ReadFile(filepath.Join(ds.dir, name+".json"))
+	if err != nil {
+		return meta, nil, err
+	}
+	if err := json.Unmarshal(mb, &meta); err != nil {
+		return meta, nil, err
+	}
+	data, err := os.ReadFile(filepath.Join(ds.dir, name+".bin"))
+	if err != nil {
+		return meta, nil, err
+	}
+	if int64(len(data)) != meta.Cert.Size {
+		return meta, nil, fmt.Errorf("storage: %s: size mismatch", name)
+	}
+	return meta, data, nil
+}
+
+// Get returns the stored item for f (served from the in-memory index).
+func (ds *DiskStore) Get(f id.File) (Item, error) { return ds.mem.Get(f) }
+
+// Has reports whether f is stored.
+func (ds *DiskStore) Has(f id.File) bool { return ds.mem.Has(f) }
+
+// Delete removes f from disk and index, returning the freed bytes.
+func (ds *DiskStore) Delete(f id.File) (int64, error) {
+	freed, err := ds.mem.Delete(f)
+	if err != nil {
+		return 0, err
+	}
+	bin, meta := ds.paths(f)
+	os.Remove(bin)  //nolint:errcheck // removal is best-effort after de-indexing
+	os.Remove(meta) //nolint:errcheck
+	return freed, nil
+}
+
+// Files lists stored fileIds in sorted order.
+func (ds *DiskStore) Files() []id.File { return ds.mem.Files() }

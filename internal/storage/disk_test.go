@@ -1,0 +1,135 @@
+package storage
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"past/internal/id"
+	"past/internal/wire"
+)
+
+func diskItem(seed uint64, size int) Item {
+	data := make([]byte, size)
+	for i := range data {
+		data[i] = byte(seed + uint64(i))
+	}
+	return Item{
+		Cert: wire.FileCertificate{FileID: id.RandFile(seed), Size: int64(size)},
+		Data: data,
+	}
+}
+
+func TestDiskStorePutGetDelete(t *testing.T) {
+	ds, err := OpenDiskStore(t.TempDir(), 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := diskItem(1, 100)
+	if err := ds.Put(it); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ds.Get(it.Cert.FileID)
+	if err != nil || string(got.Data) != string(it.Data) {
+		t.Fatalf("Get: %v", err)
+	}
+	if !ds.Has(it.Cert.FileID) || len(ds.Files()) != 1 {
+		t.Fatal("index wrong")
+	}
+	freed, err := ds.Delete(it.Cert.FileID)
+	if err != nil || freed != 100 {
+		t.Fatalf("Delete: %d %v", freed, err)
+	}
+	if ds.Has(it.Cert.FileID) {
+		t.Fatal("still present")
+	}
+	// Files removed from disk too.
+	entries, _ := os.ReadDir(ds.Dir())
+	if len(entries) != 0 {
+		t.Fatalf("%d stray files on disk", len(entries))
+	}
+}
+
+func TestDiskStoreSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	ds, err := OpenDiskStore(dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := []Item{diskItem(1, 64), diskItem(2, 128)}
+	items[1].Diverted = true
+	items[1].Primary = wire.NodeRef{ID: id.Rand(9), Addr: "sim:9"}
+	for _, it := range items {
+		if err := ds.Put(it); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Reopen: everything must come back, including diversion metadata.
+	ds2, err := OpenDiskStore(dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds2.Mem().Used() != 64+128 {
+		t.Fatalf("used after restart = %d", ds2.Mem().Used())
+	}
+	got, err := ds2.Get(items[1].Cert.FileID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Diverted || got.Primary.ID != id.Rand(9) {
+		t.Fatal("diversion metadata lost across restart")
+	}
+	if string(got.Data) != string(items[1].Data) {
+		t.Fatal("content corrupted across restart")
+	}
+}
+
+func TestDiskStoreSkipsCorruptEntries(t *testing.T) {
+	dir := t.TempDir()
+	ds, _ := OpenDiskStore(dir, 1<<20)
+	it := diskItem(3, 50)
+	ds.Put(it)
+	// Truncate the binary: size check must reject it on reload.
+	bin := filepath.Join(dir, it.Cert.FileID.String()+".bin")
+	if err := os.WriteFile(bin, []byte("short"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ds2, err := OpenDiskStore(dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds2.Has(it.Cert.FileID) {
+		t.Fatal("corrupt entry served")
+	}
+}
+
+func TestDiskStoreCapacity(t *testing.T) {
+	ds, _ := OpenDiskStore(t.TempDir(), 100)
+	if err := ds.Put(diskItem(1, 60)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Put(diskItem(2, 60)); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("overflow accepted: %v", err)
+	}
+	if err := ds.Put(diskItem(1, 10)); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("duplicate accepted: %v", err)
+	}
+}
+
+func TestDiskStoreNoTempLeftovers(t *testing.T) {
+	dir := t.TempDir()
+	ds, _ := OpenDiskStore(dir, 1<<20)
+	for i := 0; i < 5; i++ {
+		ds.Put(diskItem(uint64(i), 32))
+	}
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) == ".tmp" {
+			t.Fatalf("temp file leaked: %s", e.Name())
+		}
+	}
+	if len(entries) != 10 { // 5 × (.bin + .json)
+		t.Fatalf("expected 10 files, found %d", len(entries))
+	}
+}

@@ -1,0 +1,144 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func build(t *testing.T, n int) *Topology {
+	t.Helper()
+	top, err := New(DefaultConfig(1))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	for i := 0; i < n; i++ {
+		top.Place()
+	}
+	return top
+}
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("zero config must be rejected")
+	}
+	bad := DefaultConfig(1)
+	bad.TransitMax = bad.TransitMin - 1
+	if _, err := New(bad); err == nil {
+		t.Fatal("inverted latency bounds must be rejected")
+	}
+	bad2 := DefaultConfig(1)
+	bad2.Transits = 0
+	if _, err := New(bad2); err == nil {
+		t.Fatal("zero transits must be rejected")
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew should panic on bad config")
+		}
+	}()
+	MustNew(Config{})
+}
+
+func TestDeterministic(t *testing.T) {
+	a := build(t, 100)
+	b := build(t, 100)
+	for i := 0; i < 100; i += 7 {
+		for j := 0; j < 100; j += 11 {
+			if a.Distance(i, j) != b.Distance(i, j) {
+				t.Fatalf("same seed gave different distances at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestDistanceProperties(t *testing.T) {
+	top := build(t, 200)
+	for i := 0; i < 200; i += 5 {
+		if top.Distance(i, i) != 0 {
+			t.Fatalf("Distance(%d,%d) != 0", i, i)
+		}
+		for j := 0; j < 200; j += 13 {
+			d := top.Distance(i, j)
+			if d != top.Distance(j, i) {
+				t.Fatalf("asymmetric distance (%d,%d)", i, j)
+			}
+			if i != j && d <= 0 {
+				t.Fatalf("non-positive distance %f between distinct nodes", d)
+			}
+			if d > top.MaxDistance() {
+				t.Fatalf("distance %f exceeds MaxDistance %f", d, top.MaxDistance())
+			}
+		}
+	}
+}
+
+func TestHierarchicalClustering(t *testing.T) {
+	// Nodes in the same stub must on average be much closer than nodes in
+	// different transit domains.
+	top := MustNew(DefaultConfig(7))
+	a := top.PlaceAt(0)
+	b := top.PlaceAt(0)
+	// Stub in a different transit domain.
+	far := top.cfg.StubsPerTransit * (top.cfg.Transits - 1)
+	c := top.PlaceAt(far)
+	if top.Distance(a, b) >= top.Distance(a, c) {
+		t.Fatalf("intra-stub %.2f should be < cross-transit %.2f",
+			top.Distance(a, b), top.Distance(a, c))
+	}
+	if top.Distance(a, b) > 2*top.cfg.StubMax {
+		t.Fatalf("intra-stub distance %.2f exceeds bound", top.Distance(a, b))
+	}
+	if top.Distance(a, c) < top.cfg.TransitMin {
+		t.Fatalf("cross-transit distance %.2f below transit floor", top.Distance(a, c))
+	}
+}
+
+func TestPlaceAtBounds(t *testing.T) {
+	top := MustNew(DefaultConfig(1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PlaceAt out of range should panic")
+		}
+	}()
+	top.PlaceAt(top.NumStubs())
+}
+
+func TestStubAccessor(t *testing.T) {
+	top := MustNew(DefaultConfig(1))
+	n := top.PlaceAt(3)
+	if top.Stub(n) != 3 {
+		t.Fatalf("Stub = %d, want 3", top.Stub(n))
+	}
+	if top.NumNodes() != 1 {
+		t.Fatalf("NumNodes = %d, want 1", top.NumNodes())
+	}
+}
+
+func TestQuickDistanceSymmetricNonNegative(t *testing.T) {
+	top := build(t, 500)
+	rng := rand.New(rand.NewSource(2))
+	f := func() bool {
+		i := rng.Intn(500)
+		j := rng.Intn(500)
+		d := top.Distance(i, j)
+		return d >= 0 && d == top.Distance(j, i) && (i != j || d == 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkDistance(b *testing.B) {
+	top := MustNew(DefaultConfig(1))
+	for i := 0; i < 1000; i++ {
+		top.Place()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = top.Distance(i%1000, (i*7)%1000)
+	}
+}

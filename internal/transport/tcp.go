@@ -1,0 +1,216 @@
+package transport
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"past/internal/wire"
+)
+
+func init() { wire.RegisterAll() }
+
+// frame is the unit the TCP transport exchanges: the sender's address (so
+// replies can flow without a handshake) plus one message.
+type frame struct {
+	From string
+	Msg  wire.Msg
+}
+
+// TCP is a transport.Transport over real TCP connections. One listener
+// accepts inbound peers; outbound connections are cached per destination.
+// Messages are gob-encoded frames. Send never blocks on the network: each
+// peer connection has a writer goroutine fed by a bounded queue, and a
+// full queue drops (UDP-like semantics, matching the simulator).
+type TCP struct {
+	addr     string
+	ln       net.Listener
+	handler  Handler
+	handlerM sync.RWMutex
+
+	mu      sync.Mutex
+	peers   map[string]*tcpPeer
+	inbound map[net.Conn]bool
+	closed  bool
+
+	proxMu sync.Mutex
+	prox   map[string]float64
+
+	wg sync.WaitGroup
+}
+
+type tcpPeer struct {
+	out  chan frame
+	conn net.Conn
+}
+
+// ListenTCP starts a transport listening on the given address
+// ("127.0.0.1:0" picks a free port).
+func ListenTCP(listen string) (*TCP, error) {
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", listen, err)
+	}
+	t := &TCP{
+		addr:    ln.Addr().String(),
+		ln:      ln,
+		peers:   make(map[string]*tcpPeer),
+		inbound: make(map[net.Conn]bool),
+		prox:    make(map[string]float64),
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr implements Transport.
+func (t *TCP) Addr() string { return t.addr }
+
+// SetHandler implements Transport.
+func (t *TCP) SetHandler(h Handler) {
+	t.handlerM.Lock()
+	t.handler = h
+	t.handlerM.Unlock()
+}
+
+func (t *TCP) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			conn.Close()
+			return
+		}
+		t.inbound[conn] = true
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go t.readLoop(conn)
+	}
+}
+
+func (t *TCP) readLoop(conn net.Conn) {
+	defer t.wg.Done()
+	defer func() {
+		conn.Close()
+		t.mu.Lock()
+		delete(t.inbound, conn)
+		t.mu.Unlock()
+	}()
+	dec := gob.NewDecoder(conn)
+	for {
+		var f frame
+		if err := dec.Decode(&f); err != nil {
+			return
+		}
+		t.handlerM.RLock()
+		h := t.handler
+		t.handlerM.RUnlock()
+		if h != nil {
+			h(f.From, f.Msg)
+		}
+	}
+}
+
+// Send implements Transport. It connects lazily and enqueues the message;
+// when the peer's queue is full the message is dropped, matching the
+// unreliable-datagram semantics the protocol layer expects.
+func (t *TCP) Send(to string, m wire.Msg) error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return errors.New("transport: closed")
+	}
+	p, ok := t.peers[to]
+	if !ok {
+		conn, err := net.DialTimeout("tcp", to, 3*time.Second)
+		if err != nil {
+			t.mu.Unlock()
+			return nil // unreachable peer: silent loss, like the simulator
+		}
+		p = &tcpPeer{out: make(chan frame, 256), conn: conn}
+		t.peers[to] = p
+		t.wg.Add(1)
+		go t.writeLoop(to, p)
+	}
+	t.mu.Unlock()
+	select {
+	case p.out <- frame{From: t.addr, Msg: m}:
+	default:
+		// Queue full: drop.
+	}
+	return nil
+}
+
+func (t *TCP) writeLoop(to string, p *tcpPeer) {
+	defer t.wg.Done()
+	defer p.conn.Close()
+	enc := gob.NewEncoder(p.conn)
+	for f := range p.out {
+		if err := enc.Encode(&f); err != nil {
+			// Connection broke: forget the peer so the next Send redials.
+			t.mu.Lock()
+			if cur, ok := t.peers[to]; ok && cur == p {
+				delete(t.peers, to)
+			}
+			t.mu.Unlock()
+			return
+		}
+	}
+}
+
+// Proximity implements Transport: round-trip time to the peer, measured
+// once by TCP connect and cached. The scalar proximity metric of the
+// paper ("such as the number of IP hops, geographic distance...") maps to
+// RTT in a real deployment.
+func (t *TCP) Proximity(to string) float64 {
+	t.proxMu.Lock()
+	if v, ok := t.prox[to]; ok {
+		t.proxMu.Unlock()
+		return v
+	}
+	t.proxMu.Unlock()
+	start := time.Now()
+	conn, err := net.DialTimeout("tcp", to, 2*time.Second)
+	if err != nil {
+		return 1e9
+	}
+	rtt := float64(time.Since(start)) / float64(time.Millisecond)
+	conn.Close()
+	if rtt <= 0 {
+		rtt = 0.01
+	}
+	t.proxMu.Lock()
+	t.prox[to] = rtt
+	t.proxMu.Unlock()
+	return rtt
+}
+
+// Close implements Transport.
+func (t *TCP) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	for to, p := range t.peers {
+		close(p.out)
+		delete(t.peers, to)
+	}
+	// Unblock inbound readers: their Decode returns once the conn closes.
+	for conn := range t.inbound {
+		conn.Close()
+	}
+	t.mu.Unlock()
+	err := t.ln.Close()
+	t.wg.Wait()
+	return err
+}

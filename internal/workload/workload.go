@@ -1,0 +1,124 @@
+// Package workload generates the synthetic file populations and request
+// streams driving the storage experiments.
+//
+// The SOSP'01 companion evaluation used two proprietary traces: a web
+// proxy trace (NLANR) and a combined departmental filesystem. Neither is
+// available, so this package substitutes analytic distributions with the
+// same qualitative shape (see DESIGN.md §4): file sizes follow a lognormal
+// body with a Pareto tail — many small files, a heavy large-file tail —
+// and file popularity follows a Zipf law, the standard model for web
+// object popularity. Parameters are chosen so the size skew relative to
+// node capacity matches the regime the paper's utilization experiments
+// explore.
+package workload
+
+import (
+	"math"
+	"math/rand"
+)
+
+// SizeDist draws file sizes in bytes.
+type SizeDist struct {
+	rng *rand.Rand
+	// Mu and Sigma parameterize the lognormal body.
+	Mu, Sigma float64
+	// TailProb is the probability a draw comes from the Pareto tail.
+	TailProb float64
+	// TailXm and TailAlpha parameterize the Pareto tail.
+	TailXm    float64
+	TailAlpha float64
+	// Min and Max clamp draws (bytes).
+	Min, Max int64
+}
+
+// DefaultSizes mirrors the mixed web/filesystem character of the paper's
+// traces: median a few KiB, mean tens of KiB, occasional multi-MiB files.
+func DefaultSizes(seed int64) *SizeDist {
+	return &SizeDist{
+		rng:       rand.New(rand.NewSource(seed)),
+		Mu:        math.Log(8 << 10), // median 8 KiB
+		Sigma:     1.4,
+		TailProb:  0.02,
+		TailXm:    256 << 10,
+		TailAlpha: 1.1,
+		Min:       64,
+		Max:       8 << 20,
+	}
+}
+
+// Draw returns one file size.
+func (d *SizeDist) Draw() int64 {
+	var v float64
+	if d.rng.Float64() < d.TailProb {
+		// Pareto: xm * U^(-1/alpha)
+		u := d.rng.Float64()
+		if u < 1e-12 {
+			u = 1e-12
+		}
+		v = d.TailXm * math.Pow(u, -1/d.TailAlpha)
+	} else {
+		v = math.Exp(d.Mu + d.Sigma*d.rng.NormFloat64())
+	}
+	s := int64(v)
+	if s < d.Min {
+		s = d.Min
+	}
+	if s > d.Max {
+		s = d.Max
+	}
+	return s
+}
+
+// Zipf draws item indexes in [0, n) with Zipf(s) popularity: index 0 is
+// the most popular.
+type Zipf struct {
+	z *rand.Zipf
+}
+
+// NewZipf creates a Zipf sampler over n items with exponent s (> 1 per
+// math/rand's parameterization; web workloads are typically fit with
+// s ≈ 0.8–1.2, and the caller passes s+ε as needed).
+func NewZipf(seed int64, s float64, n int) *Zipf {
+	if s <= 1 {
+		s = 1.0001
+	}
+	rng := rand.New(rand.NewSource(seed))
+	return &Zipf{z: rand.NewZipf(rng, s, 1, uint64(n-1))}
+}
+
+// Draw returns a popularity-ranked item index.
+func (z *Zipf) Draw() int { return int(z.z.Uint64()) }
+
+// Capacities draws node storage capacities. The SOSP'01 evaluation
+// assigned node capacities from a truncated normal distribution so that
+// capacities differ by no more than a small factor; large imbalance is
+// what storage management must absorb.
+type Capacities struct {
+	rng *rand.Rand
+	// Mean is the average capacity in bytes.
+	Mean float64
+	// Spread is the standard deviation as a fraction of the mean.
+	Spread float64
+	// FloorFrac clamps the minimum to this fraction of the mean.
+	FloorFrac float64
+}
+
+// DefaultCapacities gives nodes a mean capacity with ±30% spread.
+func DefaultCapacities(seed int64, mean int64) *Capacities {
+	return &Capacities{
+		rng:       rand.New(rand.NewSource(seed)),
+		Mean:      float64(mean),
+		Spread:    0.3,
+		FloorFrac: 0.25,
+	}
+}
+
+// Draw returns one node capacity.
+func (c *Capacities) Draw() int64 {
+	v := c.Mean * (1 + c.Spread*c.rng.NormFloat64())
+	floor := c.Mean * c.FloorFrac
+	if v < floor {
+		v = floor
+	}
+	return int64(v)
+}

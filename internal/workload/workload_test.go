@@ -1,0 +1,99 @@
+package workload
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+func TestSizeDistBounds(t *testing.T) {
+	d := DefaultSizes(1)
+	for i := 0; i < 10000; i++ {
+		s := d.Draw()
+		if s < d.Min || s > d.Max {
+			t.Fatalf("draw %d out of bounds", s)
+		}
+	}
+}
+
+func TestSizeDistShape(t *testing.T) {
+	d := DefaultSizes(2)
+	n := 20000
+	sizes := make([]int64, n)
+	var sum float64
+	for i := range sizes {
+		sizes[i] = d.Draw()
+		sum += float64(sizes[i])
+	}
+	sort.Slice(sizes, func(a, b int) bool { return sizes[a] < sizes[b] })
+	median := float64(sizes[n/2])
+	mean := sum / float64(n)
+	// Heavy tail: mean well above median.
+	if mean < 2*median {
+		t.Fatalf("distribution not right-skewed: mean %.0f median %.0f", mean, median)
+	}
+	// Median in the single-digit-KiB range the generator promises.
+	if median < 2<<10 || median > 32<<10 {
+		t.Fatalf("median %.0f outside expected range", median)
+	}
+	// The tail must actually produce large files.
+	if sizes[n-1] < 1<<20 {
+		t.Fatalf("largest draw %d suspiciously small", sizes[n-1])
+	}
+}
+
+func TestSizeDistDeterministic(t *testing.T) {
+	a, b := DefaultSizes(7), DefaultSizes(7)
+	for i := 0; i < 100; i++ {
+		if a.Draw() != b.Draw() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	z := NewZipf(1, 1.1, 1000)
+	counts := make([]int, 1000)
+	n := 50000
+	for i := 0; i < n; i++ {
+		counts[z.Draw()]++
+	}
+	// Top item should dominate; bottom half should be rare.
+	if counts[0] < n/20 {
+		t.Fatalf("top item only %d/%d draws", counts[0], n)
+	}
+	bottom := 0
+	for _, c := range counts[500:] {
+		bottom += c
+	}
+	if bottom > n/10 {
+		t.Fatalf("bottom half drew %d/%d: not skewed", bottom, n)
+	}
+}
+
+func TestZipfClampsExponent(t *testing.T) {
+	z := NewZipf(1, 0.5, 100) // below 1: clamped internally
+	for i := 0; i < 1000; i++ {
+		v := z.Draw()
+		if v < 0 || v >= 100 {
+			t.Fatalf("draw %d out of range", v)
+		}
+	}
+}
+
+func TestCapacities(t *testing.T) {
+	c := DefaultCapacities(1, 1<<20)
+	var sum float64
+	n := 10000
+	for i := 0; i < n; i++ {
+		v := c.Draw()
+		if v < int64(0.25*float64(1<<20)) {
+			t.Fatalf("capacity %d below floor", v)
+		}
+		sum += float64(v)
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean-float64(1<<20)) > 0.1*float64(1<<20) {
+		t.Fatalf("mean capacity %.0f drifted from %d", mean, 1<<20)
+	}
+}

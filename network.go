@@ -1,0 +1,261 @@
+package past
+
+import (
+	"fmt"
+	"time"
+
+	"past/internal/cluster"
+	"past/internal/id"
+	pastcore "past/internal/past"
+	"past/internal/pastry"
+	"past/internal/seccrypt"
+	"past/internal/simnet"
+	"past/internal/wire"
+)
+
+// NetworkConfig configures a simulated PAST network.
+type NetworkConfig struct {
+	// N is the number of nodes. Required.
+	N int
+	// Seed makes the whole network (ids, topology, latencies, request
+	// randomness) reproducible.
+	Seed int64
+	// Storage configures each node's PAST layer; the zero value uses
+	// DefaultStorageConfig.
+	Storage StorageConfig
+	// RoutingB and RoutingL override Pastry's digit size (default 4) and
+	// leaf-set size (default 32).
+	RoutingB, RoutingL int
+	// UserQuota is the usage quota issued to each node's smartcard.
+	// Zero means effectively unlimited.
+	UserQuota int64
+	// KeepAlive enables periodic leaf-set keep-alives (needed for
+	// automatic failure recovery); zero disables them.
+	KeepAlive time.Duration
+	// FailTimeout is the silence period after which a node is presumed
+	// failed (only meaningful with KeepAlive set).
+	FailTimeout time.Duration
+	// RandomizedRouting enables the fault-tolerant randomized routing of
+	// section 2.2, which lets retried requests take different paths
+	// around malicious or failed nodes.
+	RandomizedRouting bool
+}
+
+// Network is an in-process simulated PAST network: N storage nodes built
+// by running the real join protocol over a deterministic discrete-event
+// simulator. All client operations run the full protocol (certificates,
+// routing, replication, receipts) and block until the simulation delivers
+// a result.
+type Network struct {
+	cfg    NetworkConfig
+	clu    *cluster.Cluster
+	broker *seccrypt.Broker
+	cards  []*seccrypt.Smartcard
+	nodes  []*pastcore.Node
+}
+
+// NewNetwork builds and joins an N-node simulated PAST network.
+func NewNetwork(cfg NetworkConfig) (*Network, error) {
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("past: NetworkConfig.N must be positive, got %d", cfg.N)
+	}
+	storage := cfg.Storage
+	if storage.K == 0 {
+		storage = DefaultStorageConfig()
+		storage.K = 3
+	}
+	quota := cfg.UserQuota
+	if quota <= 0 {
+		quota = 1 << 50
+	}
+	broker, err := seccrypt.NewBroker(seccrypt.DetRand(uint64(cfg.Seed) + 1))
+	if err != nil {
+		return nil, err
+	}
+	cards := make([]*seccrypt.Smartcard, cfg.N)
+	for i := range cards {
+		cards[i], err = broker.IssueCard(quota, storage.Capacity, 0, seccrypt.DetRand(uint64(cfg.Seed)<<20+uint64(i)+7))
+		if err != nil {
+			return nil, err
+		}
+	}
+	pcfg := pastry.DefaultConfig()
+	if cfg.RoutingB > 0 {
+		pcfg.B = cfg.RoutingB
+	}
+	if cfg.RoutingL > 0 {
+		pcfg.L = cfg.RoutingL
+	}
+	if cfg.KeepAlive > 0 {
+		pcfg.KeepAlive = cfg.KeepAlive
+		if cfg.FailTimeout > 0 {
+			pcfg.FailTimeout = cfg.FailTimeout
+		}
+	}
+	pcfg.Randomize = cfg.RandomizedRouting
+	nodes := make([]*pastcore.Node, cfg.N)
+	clu, err := cluster.Build(cluster.Options{
+		N:      cfg.N,
+		Pastry: pcfg,
+		Seed:   cfg.Seed,
+		NodeID: func(i int) id.Node { return cards[i].NodeID() },
+		AppFactory: func(i int, nd *pastry.Node, ep *simnet.Endpoint) pastry.App {
+			nodes[i] = pastcore.NewNode(storage, nd, cards[i], broker.PublicKey())
+			return nodes[i]
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	if cfg.KeepAlive > 0 {
+		clu.EnableProbes()
+	}
+	return &Network{cfg: cfg, clu: clu, broker: broker, cards: cards, nodes: nodes}, nil
+}
+
+// Len returns the number of nodes (live and crashed).
+func (nw *Network) Len() int { return len(nw.nodes) }
+
+// Broker returns the network's smartcard issuer.
+func (nw *Network) Broker() *Broker { return nw.broker }
+
+// Card returns node i's smartcard (also usable as a client identity).
+func (nw *Network) Card(i int) *Smartcard { return nw.cards[i] }
+
+// NodeRef returns node i's overlay identity.
+func (nw *Network) NodeRef(i int) NodeRef { return nw.clu.Nodes[i].Ref() }
+
+// run drives the simulator until done or the event budget is exhausted.
+func (nw *Network) run(done *bool) error {
+	if !nw.clu.Net.RunUntil(func() bool { return *done }, 100_000_000) {
+		return ErrTimeout
+	}
+	return nil
+}
+
+// Insert stores data via node `node` using card (nil uses the node's own
+// card), replicated k times (0 = default). It blocks until the insert
+// completes or fails.
+func (nw *Network) Insert(node int, card *Smartcard, name string, data []byte, k int) (InsertResult, error) {
+	if card == nil {
+		card = nw.cards[node]
+	}
+	var res InsertResult
+	done := false
+	nw.nodes[node].Insert(card, name, data, k, func(r InsertResult) { res = r; done = true })
+	if err := nw.run(&done); err != nil {
+		return InsertResult{}, err
+	}
+	return res, res.Err
+}
+
+// Lookup retrieves a file via node `node`.
+func (nw *Network) Lookup(node int, f FileID) (LookupResult, error) {
+	var res LookupResult
+	done := false
+	nw.nodes[node].Lookup(f, func(r LookupResult) { res = r; done = true })
+	if err := nw.run(&done); err != nil {
+		return LookupResult{}, err
+	}
+	return res, res.Err
+}
+
+// Reclaim frees a file's storage via node `node` with the owner's card
+// (nil uses the node's own card).
+func (nw *Network) Reclaim(node int, card *Smartcard, f FileID) (ReclaimResult, error) {
+	if card == nil {
+		card = nw.cards[node]
+	}
+	var res ReclaimResult
+	done := false
+	nw.nodes[node].Reclaim(card, f, func(r ReclaimResult) { res = r; done = true })
+	if err := nw.run(&done); err != nil {
+		return ReclaimResult{}, err
+	}
+	return res, res.Err
+}
+
+// Crash silently removes node i from the network, as in the paper's
+// failure model ("nodes may silently leave the system without warning").
+func (nw *Network) Crash(i int) { nw.clu.Crash(i) }
+
+// Down reports whether node i has been crashed.
+func (nw *Network) Down(i int) bool { return nw.clu.Down(i) }
+
+// Restart brings a crashed node back; it re-enters the overlay via the
+// recovery protocol of section 2.2 (contact last-known leaf set, merge
+// their current leaf sets, announce presence).
+func (nw *Network) Restart(i int) { nw.clu.Restart(i) }
+
+// RunFor advances the simulation by d of virtual time, letting keep-alive,
+// repair and re-replication traffic proceed.
+func (nw *Network) RunFor(d time.Duration) { nw.clu.Net.RunFor(d) }
+
+// Holds reports whether node i currently stores a replica of f.
+func (nw *Network) Holds(i int, f FileID) bool { return nw.nodes[i].Store().Has(f) }
+
+// Utilization returns the global storage utilization across live nodes.
+func (nw *Network) Utilization() float64 {
+	var used, capTotal int64
+	for i, n := range nw.nodes {
+		if nw.clu.Down(i) {
+			continue
+		}
+		used += n.Store().Used()
+		capTotal += n.Store().Capacity()
+	}
+	if capTotal == 0 {
+		return 0
+	}
+	return float64(used) / float64(capTotal)
+}
+
+// AuditPeer makes node `auditor` challenge `target` to prove it stores f.
+func (nw *Network) AuditPeer(auditor int, target NodeRef, f FileID) (bool, error) {
+	var verdict bool
+	done := false
+	if err := nw.nodes[auditor].AuditPeer(target, f, func(ok bool) { verdict = ok; done = true }); err != nil {
+		return false, err
+	}
+	if err := nw.run(&done); err != nil {
+		return false, err
+	}
+	return verdict, nil
+}
+
+// Messages returns the number of messages delivered by the simulated
+// network so far.
+func (nw *Network) Messages() uint64 { return nw.clu.Net.Messages() }
+
+// ReplicaHolders lists the indexes of live nodes storing f.
+func (nw *Network) ReplicaHolders(f FileID) []int {
+	var out []int
+	for i, n := range nw.nodes {
+		if !nw.clu.Down(i) && n.Store().Has(f) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// NodeStats aggregates one node's storage-management counters.
+type NodeStats = pastcore.Stats
+
+// NodeStats returns node i's counters (stores, diversions, cache serves).
+func (nw *Network) NodeStats(i int) NodeStats { return nw.nodes[i].Stats() }
+
+// CacheStats returns node i's cache hit/miss counters.
+func (nw *Network) CacheStats(i int) (hits, misses uint64) {
+	return nw.nodes[i].Cache().Stats()
+}
+
+// SetMalicious turns node i into the attacker of section 2.2
+// ("Fault-tolerance"): it accepts messages but silently drops everything
+// it should forward on behalf of others, while still answering as a
+// destination.
+func (nw *Network) SetMalicious(i int) {
+	nw.clu.Eps[i].SetSendFilter(func(to string, m wire.Msg) bool {
+		_, isRouted := m.(wire.Routed)
+		return isRouted
+	})
+}

@@ -1,0 +1,91 @@
+// Package past is the public API of this PAST reproduction: a large-scale,
+// persistent peer-to-peer storage utility built on the Pastry location and
+// routing scheme (Druschel & Rowstron, HotOS 2001).
+//
+// Two entry points cover the two ways to run PAST:
+//
+//   - Network builds a whole simulated PAST network in-process on a
+//     deterministic discrete-event simulator — the configuration used by
+//     the paper-reproduction experiments and most tests. See NewNetwork.
+//
+//   - Peer runs one real storage node speaking gob-over-TCP, for
+//     multi-process deployments on real machines. See ListenPeer.
+//
+// Both expose the paper's three operations — Insert, Lookup, Reclaim —
+// with the full protocol stack underneath: smartcard-signed file
+// certificates and receipts, storage quotas, k-replication on the nodes
+// whose nodeIds are numerically closest to the fileId, replica and file
+// diversion for storage balancing, failure-triggered re-replication, and
+// caching of popular files along lookup paths.
+//
+// The deeper layers live in internal packages (internal/pastry,
+// internal/past, internal/seccrypt, internal/simnet, ...); this package
+// re-exports the types a downstream application needs.
+package past
+
+import (
+	"past/internal/id"
+	pastcore "past/internal/past"
+	"past/internal/seccrypt"
+	"past/internal/wire"
+)
+
+// FileID is a 160-bit PAST file identifier.
+type FileID = id.File
+
+// NodeID is a 128-bit Pastry node identifier.
+type NodeID = id.Node
+
+// ParseFileID parses a 40-hex-digit fileId.
+func ParseFileID(s string) (FileID, error) { return id.ParseFile(s) }
+
+// InsertResult reports an insert outcome: the assigned fileId, the store
+// receipts collected from the replica holders, and retry accounting.
+type InsertResult = pastcore.InsertResult
+
+// LookupResult carries the retrieved file, its certificate, and routing
+// telemetry (overlay hops, proximity distance, cache hit).
+type LookupResult = pastcore.LookupResult
+
+// ReclaimResult carries the reclaim receipts and total bytes freed.
+type ReclaimResult = pastcore.ReclaimResult
+
+// StorageConfig configures the PAST storage layer of a node.
+type StorageConfig = pastcore.Config
+
+// DefaultStorageConfig returns the paper's defaults (k=5, thresholds
+// 0.1/0.05, diversion and caching enabled).
+func DefaultStorageConfig() StorageConfig { return pastcore.DefaultConfig() }
+
+// Broker issues smartcards and balances storage supply and demand
+// (section 1 of the paper).
+type Broker = seccrypt.Broker
+
+// Smartcard holds a user's key pair and quota ledger; it issues file and
+// reclaim certificates and signs receipts (section 2.1).
+type Smartcard = seccrypt.Smartcard
+
+// NewBroker creates a broker with a fresh certification key. Pass nil to
+// use crypto/rand.
+func NewBroker() (*Broker, error) { return seccrypt.NewBroker(nil) }
+
+// StoreReceipt proves a node stored a replica.
+type StoreReceipt = wire.StoreReceipt
+
+// ReclaimReceipt proves a node freed a replica's storage.
+type ReclaimReceipt = wire.ReclaimReceipt
+
+// NodeRef names a node: identifier plus transport address.
+type NodeRef = wire.NodeRef
+
+// Errors re-exported for errors.Is checks.
+var (
+	// ErrTimeout reports a client operation that did not complete.
+	ErrTimeout = pastcore.ErrTimeout
+	// ErrRejected reports an insert the network could not accommodate.
+	ErrRejected = pastcore.ErrRejected
+	// ErrNotFound reports a lookup for an unknown (or reclaimed) fileId.
+	ErrNotFound = pastcore.ErrNotFound
+	// ErrQuotaExceeded reports an insert beyond the card's storage quota.
+	ErrQuotaExceeded = seccrypt.ErrQuotaExceeded
+)

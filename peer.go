@@ -1,0 +1,159 @@
+package past
+
+import (
+	"crypto/ed25519"
+	"fmt"
+	"time"
+
+	pastcore "past/internal/past"
+	"past/internal/pastry"
+	"past/internal/transport"
+)
+
+// PeerConfig configures one real PAST node communicating over TCP.
+type PeerConfig struct {
+	// Listen is the TCP listen address; "127.0.0.1:0" picks a free port.
+	Listen string
+	// Card is this node's smartcard (fixes its nodeId and signs its
+	// receipts). Required.
+	Card *Smartcard
+	// BrokerPub is the certification key this node trusts.
+	BrokerPub ed25519.PublicKey
+	// Storage configures the PAST layer; zero value uses defaults.
+	Storage StorageConfig
+	// RoutingB and RoutingL override Pastry parameters (defaults 4, 32).
+	RoutingB, RoutingL int
+	// KeepAlive and FailTimeout control failure detection; zero keeps the
+	// defaults (5s / 15s).
+	KeepAlive, FailTimeout time.Duration
+	// OpTimeout bounds blocking client operations (default 30s).
+	OpTimeout time.Duration
+}
+
+// Peer is a live PAST node over TCP. It is safe for concurrent use.
+type Peer struct {
+	cfg  PeerConfig
+	tr   *transport.TCP
+	node *pastry.Node
+	past *pastcore.Node
+}
+
+// ListenPeer starts a PAST node listening on cfg.Listen. Call Bootstrap
+// (first node) or Join afterwards.
+func ListenPeer(cfg PeerConfig) (*Peer, error) {
+	if cfg.Card == nil {
+		return nil, fmt.Errorf("past: PeerConfig.Card is required")
+	}
+	if cfg.Listen == "" {
+		cfg.Listen = "127.0.0.1:0"
+	}
+	if cfg.OpTimeout <= 0 {
+		cfg.OpTimeout = 30 * time.Second
+	}
+	tr, err := transport.ListenTCP(cfg.Listen)
+	if err != nil {
+		return nil, err
+	}
+	pcfg := pastry.DefaultConfig()
+	pcfg.KeepAlive = 5 * time.Second
+	pcfg.FailTimeout = 15 * time.Second
+	if cfg.RoutingB > 0 {
+		pcfg.B = cfg.RoutingB
+	}
+	if cfg.RoutingL > 0 {
+		pcfg.L = cfg.RoutingL
+	}
+	if cfg.KeepAlive > 0 {
+		pcfg.KeepAlive = cfg.KeepAlive
+	}
+	if cfg.FailTimeout > 0 {
+		pcfg.FailTimeout = cfg.FailTimeout
+	}
+	pcfg.Seed = int64(cfg.Card.NodeID().Digit(0, 8))<<32 | time.Now().UnixNano()&0xffffffff
+	storage := cfg.Storage
+	if storage.K == 0 {
+		storage = DefaultStorageConfig()
+	}
+	storage.RequestTimeout = cfg.OpTimeout
+
+	clock := transport.NewRealClock()
+	node := pastry.New(pcfg, cfg.Card.NodeID(), tr, clock, nil)
+	pn := pastcore.NewNode(storage, node, cfg.Card, cfg.BrokerPub)
+	return &Peer{cfg: cfg, tr: tr, node: node, past: pn}, nil
+}
+
+// Addr returns the address other peers use to reach this node.
+func (p *Peer) Addr() string { return p.tr.Addr() }
+
+// Ref returns this node's overlay identity.
+func (p *Peer) Ref() NodeRef { return p.node.Ref() }
+
+// Bootstrap starts a brand-new PAST network with this node as the first
+// member.
+func (p *Peer) Bootstrap() { p.node.Bootstrap() }
+
+// Join joins an existing network via the given seed address, blocking
+// until the state transfer completes.
+func (p *Peer) Join(seed string) error {
+	errc := make(chan error, 1)
+	p.node.Join(seed, func(err error) { errc <- err })
+	select {
+	case err := <-errc:
+		return err
+	case <-time.After(p.cfg.OpTimeout):
+		return ErrTimeout
+	}
+}
+
+// Insert stores data under name with k replicas (0 = default), blocking
+// until the receipts arrive. card nil uses the peer's own card.
+func (p *Peer) Insert(card *Smartcard, name string, data []byte, k int) (InsertResult, error) {
+	if card == nil {
+		card = p.cfg.Card
+	}
+	ch := make(chan InsertResult, 1)
+	p.past.Insert(card, name, data, k, func(r InsertResult) { ch <- r })
+	select {
+	case r := <-ch:
+		return r, r.Err
+	case <-time.After(4 * p.cfg.OpTimeout):
+		return InsertResult{}, ErrTimeout
+	}
+}
+
+// Lookup retrieves a file, blocking until the reply arrives.
+func (p *Peer) Lookup(f FileID) (LookupResult, error) {
+	ch := make(chan LookupResult, 1)
+	p.past.Lookup(f, func(r LookupResult) { ch <- r })
+	select {
+	case r := <-ch:
+		return r, r.Err
+	case <-time.After(2 * p.cfg.OpTimeout):
+		return LookupResult{}, ErrTimeout
+	}
+}
+
+// Reclaim frees a file's storage, blocking until receipts arrive or the
+// reclaim window closes. card nil uses the peer's own card.
+func (p *Peer) Reclaim(card *Smartcard, f FileID) (ReclaimResult, error) {
+	if card == nil {
+		card = p.cfg.Card
+	}
+	ch := make(chan ReclaimResult, 1)
+	p.past.Reclaim(card, f, func(r ReclaimResult) { ch <- r })
+	select {
+	case r := <-ch:
+		return r, r.Err
+	case <-time.After(2 * p.cfg.OpTimeout):
+		return ReclaimResult{}, ErrTimeout
+	}
+}
+
+// StoredFiles returns how many replicas this node currently stores.
+func (p *Peer) StoredFiles() int { return p.past.Store().Len() }
+
+// Close shuts the node down.
+func (p *Peer) Close() error {
+	p.node.Leave()
+	return p.tr.Close()
+}
