@@ -1,0 +1,197 @@
+// Command pastbench runs the core PAST microbenchmarks and experiment
+// wall-clock probes, then writes the results as JSON so successive PRs
+// can track the performance trajectory:
+//
+//	go run ./cmd/pastbench -out BENCH_1.json
+//
+// The microbenchmarks mirror the hot-path benchmarks in bench_test.go
+// (insert, lookup, insert+reclaim, network build) but run against the
+// public API via testing.Benchmark, so they need no test harness. The
+// experiment probes time experiments.Run at Small scale — the same
+// invocations the BenchmarkE* suite makes — and record the wall-clock
+// plus a key metric cell per experiment.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"past"
+	"past/internal/experiments"
+	"past/internal/seccrypt"
+)
+
+// BenchResult is one microbenchmark measurement.
+type BenchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// ExpResult is one experiment wall-clock probe.
+type ExpResult struct {
+	ID     string  `json:"id"`
+	Scale  string  `json:"scale"`
+	Seed   int64   `json:"seed"`
+	WallMs float64 `json:"wall_ms"`
+}
+
+// Report is the BENCH_<n>.json schema.
+type Report struct {
+	GoVersion   string        `json:"go_version"`
+	GOMAXPROCS  int           `json:"gomaxprocs"`
+	UnixTime    int64         `json:"unix_time"`
+	Benchmarks  []BenchResult `json:"benchmarks"`
+	Experiments []ExpResult   `json:"experiments"`
+	MemoHits    uint64        `json:"verify_memo_hits"`
+	MemoMisses  uint64        `json:"verify_memo_misses"`
+}
+
+func benchNetwork(n int) *past.Network {
+	cfg := past.DefaultStorageConfig()
+	cfg.K = 3
+	cfg.Capacity = 64 << 20
+	nw, err := past.NewNetwork(past.NetworkConfig{N: n, Seed: 7, Storage: cfg})
+	if err != nil {
+		panic(err)
+	}
+	return nw
+}
+
+func record(name string, f func(b *testing.B)) BenchResult {
+	r := testing.Benchmark(f)
+	return BenchResult{
+		Name:        name,
+		Iterations:  r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+}
+
+func main() {
+	out := flag.String("out", "BENCH_1.json", "output JSON path")
+	expIDs := flag.String("experiments", "E1,E10", "comma-separated experiment ids to time (empty disables)")
+	flag.Parse()
+
+	// Validate experiment ids before spending minutes on benchmarks.
+	ids := splitComma(*expIDs)
+	known := make(map[string]bool)
+	for _, k := range experiments.IDs() {
+		known[k] = true
+	}
+	for _, idStr := range ids {
+		if !known[idStr] {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (have %v)\n", idStr, experiments.IDs())
+			os.Exit(1)
+		}
+	}
+
+	rep := Report{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		UnixTime:   time.Now().Unix(),
+	}
+
+	rep.Benchmarks = append(rep.Benchmarks, record("Insert4KiB", func(b *testing.B) {
+		nw := benchNetwork(64)
+		data := make([]byte, 4096)
+		b.ResetTimer()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := nw.Insert(i%64, nil, fmt.Sprintf("bench-%d", i), data, 3); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	fmt.Fprintf(os.Stderr, "Insert4KiB done\n")
+
+	rep.Benchmarks = append(rep.Benchmarks, record("Lookup4KiB", func(b *testing.B) {
+		nw := benchNetwork(64)
+		ins, err := nw.Insert(0, nil, "bench-lookup", make([]byte, 4096), 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := nw.Lookup(i%64, ins.FileID); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	fmt.Fprintf(os.Stderr, "Lookup4KiB done\n")
+
+	rep.Benchmarks = append(rep.Benchmarks, record("InsertReclaimCycle", func(b *testing.B) {
+		nw := benchNetwork(32)
+		data := make([]byte, 1024)
+		b.ResetTimer()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ins, err := nw.Insert(i%32, nil, fmt.Sprintf("cycle-%d", i), data, 3)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := nw.Reclaim(i%32, nil, ins.FileID); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	fmt.Fprintf(os.Stderr, "InsertReclaimCycle done\n")
+
+	rep.Benchmarks = append(rep.Benchmarks, record("NetworkBuild64", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cfg := past.DefaultStorageConfig()
+			cfg.Capacity = 1 << 20
+			if _, err := past.NewNetwork(past.NetworkConfig{N: 64, Seed: int64(i), Storage: cfg}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	fmt.Fprintf(os.Stderr, "NetworkBuild64 done\n")
+
+	for _, idStr := range ids {
+		start := time.Now()
+		if _, err := experiments.Run(idStr, experiments.Small, 42); err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s: %v\n", idStr, err)
+			os.Exit(1)
+		}
+		rep.Experiments = append(rep.Experiments, ExpResult{
+			ID: idStr, Scale: "Small", Seed: 42,
+			WallMs: float64(time.Since(start).Microseconds()) / 1000,
+		})
+		fmt.Fprintf(os.Stderr, "%s done\n", idStr)
+	}
+
+	rep.MemoHits, rep.MemoMisses = seccrypt.MemoStats()
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		panic(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "write %s: %v\n", *out, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+func splitComma(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}

@@ -178,6 +178,24 @@ func TestTCPPeersEndToEnd(t *testing.T) {
 			t.Fatalf("peer %d join: %v", i, err)
 		}
 	}
+	// Join returns before announce traffic has propagated; an insert that
+	// races it can be replicated against a stale leaf-set view (leaving a
+	// harmless extra copy that would trip the exact-count check below).
+	// Wait for every peer to see all four others.
+	converged := func() bool {
+		for _, p := range peers {
+			if p.KnownPeers() < 4 {
+				return false
+			}
+		}
+		return true
+	}
+	for wait := 0; !converged() && wait < 200; wait++ {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !converged() {
+		t.Fatal("membership did not converge")
+	}
 	data := []byte("over real TCP")
 	ins, err := peers[1].Insert(nil, "tcp.txt", data, 3)
 	if err != nil {

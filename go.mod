@@ -1,0 +1,3 @@
+module past
+
+go 1.24

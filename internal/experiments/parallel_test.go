@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// withParallelism runs f with MaxParallel pinned to p, restoring the
+// previous value afterwards.
+func withParallelism(t *testing.T, p int, f func()) {
+	t.Helper()
+	old := MaxParallel
+	MaxParallel = p
+	defer func() { MaxParallel = old }()
+	f()
+}
+
+func TestForEachPointCoversAllPoints(t *testing.T) {
+	for _, p := range []int{1, 4} {
+		withParallelism(t, p, func() {
+			got := make([]int, 100)
+			forEachPoint(len(got), func(i int) { got[i] = i + 1 })
+			for i, v := range got {
+				if v != i+1 {
+					t.Fatalf("parallelism %d: point %d not executed", p, i)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelEngineDeterministicE1 proves trial isolation for a
+// routing-grid experiment: the table produced with the engine fanned out
+// over goroutines is byte-identical to the sequential run. Run under
+// `go test -race` (as CI does) this also proves the concurrent data
+// points share no state.
+func TestParallelEngineDeterministicE1(t *testing.T) {
+	var seq, par Result
+	withParallelism(t, 1, func() { seq, _ = Run("E1", Small, 42) })
+	withParallelism(t, 4, func() { par, _ = Run("E1", Small, 42) })
+	if seq.Table.String() != par.Table.String() {
+		t.Fatalf("E1 diverged between sequential and parallel runs:\nseq:\n%s\npar:\n%s",
+			seq.Table.String(), par.Table.String())
+	}
+}
+
+// TestParallelEngineDeterministicE10 is the storage-layer counterpart:
+// four full PAST clusters (inserts, caching, saturation, Zipf lookups)
+// run concurrently and must reproduce the sequential table exactly.
+func TestParallelEngineDeterministicE10(t *testing.T) {
+	if testing.Short() {
+		t.Skip("E10 twice is slow; run without -short (CI does)")
+	}
+	var seq, par Result
+	withParallelism(t, 1, func() { seq, _ = Run("E10", Small, 42) })
+	withParallelism(t, 4, func() { par, _ = Run("E10", Small, 42) })
+	if seq.Table.String() != par.Table.String() {
+		t.Fatalf("E10 diverged between sequential and parallel runs:\nseq:\n%s\npar:\n%s",
+			seq.Table.String(), par.Table.String())
+	}
+}

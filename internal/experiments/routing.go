@@ -24,22 +24,28 @@ func E1RoutingHops(scale Scale, seed int64) Result {
 		trials = 2000
 	}
 	tbl := &metrics.Table{Header: []string{"N", "ceil(log16 N)", "avg hops", "p95 hops", "max hops", "delivered"}}
-	for _, n := range sizes {
+	type point struct {
+		hops      metrics.Summary
+		delivered int
+	}
+	pts := make([]point, len(sizes))
+	forEachPoint(len(sizes), func(i int) {
+		n := sizes[i]
 		c, recs := mustRoutingCluster(n, seed, nil)
-		var hops metrics.Summary
-		delivered := 0
 		for t := 0; t < trials; t++ {
 			key := id.Rand(uint64(seed)<<32 + uint64(t))
 			d, ok := probeRoute(c, recs, c.RandomLiveNode(), key, uint64(t))
 			if !ok {
 				continue
 			}
-			delivered++
-			hops.Add(float64(d.Routed.Hops))
+			pts[i].delivered++
+			pts[i].hops.Add(float64(d.Routed.Hops))
 		}
+	})
+	for i, n := range sizes {
 		bound := int(math.Ceil(math.Log(float64(n)) / math.Log(16)))
-		tbl.AddRow(n, bound, hops.Mean(), hops.Percentile(95), hops.Max(),
-			fmt.Sprintf("%d/%d", delivered, trials))
+		tbl.AddRow(n, bound, pts[i].hops.Mean(), pts[i].hops.Percentile(95), pts[i].hops.Max(),
+			fmt.Sprintf("%d/%d", pts[i].delivered, trials))
 	}
 	return Result{
 		ID:         "E1",
@@ -250,17 +256,24 @@ func E6TableSize(scale Scale, seed int64) Result {
 		sizes = []int{256, 1024, 4096, 16384}
 	}
 	tbl := &metrics.Table{Header: []string{"N", "avg RT entries", "avg leaf", "avg nbhd", "formula RT+leaf"}}
-	for _, n := range sizes {
+	type point struct {
+		rt, leaf, nbhd metrics.Summary
+		formula        int
+	}
+	pts := make([]point, len(sizes))
+	forEachPoint(len(sizes), func(i int) {
+		n := sizes[i]
 		c, _ := mustRoutingCluster(n, seed, nil)
-		var rt, leaf, nbhd metrics.Summary
 		for _, nd := range c.Nodes {
 			r, l, m := nd.StateSize()
-			rt.Add(float64(r))
-			leaf.Add(float64(l))
-			nbhd.Add(float64(m))
+			pts[i].rt.Add(float64(r))
+			pts[i].leaf.Add(float64(l))
+			pts[i].nbhd.Add(float64(m))
 		}
-		formula := 15*int(math.Ceil(math.Log(float64(n))/math.Log(16))) + 2*c.Opts.Pastry.L/2*2
-		tbl.AddRow(n, rt.Mean(), leaf.Mean(), nbhd.Mean(), formula)
+		pts[i].formula = 15*int(math.Ceil(math.Log(float64(n))/math.Log(16))) + 2*c.Opts.Pastry.L/2*2
+	})
+	for i, n := range sizes {
+		tbl.AddRow(n, pts[i].rt.Mean(), pts[i].leaf.Mean(), pts[i].nbhd.Mean(), pts[i].formula)
 	}
 	return Result{
 		ID:         "E6",
@@ -281,7 +294,9 @@ func E7JoinCost(scale Scale, seed int64) Result {
 		sizes = []int{256, 1024, 4096, 16384}
 	}
 	tbl := &metrics.Table{Header: []string{"N before join", "messages", "log16 N"}}
-	for _, n := range sizes {
+	msgs := make([]uint64, len(sizes))
+	forEachPoint(len(sizes), func(i int) {
+		n := sizes[i]
 		c, _ := mustRoutingCluster(n-1, seed, nil)
 		c.Net.ResetCounters()
 		c.Topo.Place()
@@ -291,7 +306,10 @@ func E7JoinCost(scale Scale, seed int64) Result {
 		nd.Join(simnet.Addr(0), func(error) { done = true })
 		c.Net.RunUntil(func() bool { return done }, 10_000_000)
 		c.Net.RunUntilIdle()
-		tbl.AddRow(n-1, c.Net.Messages(), math.Log(float64(n))/math.Log(16))
+		msgs[i] = c.Net.Messages()
+	})
+	for i, n := range sizes {
+		tbl.AddRow(n-1, msgs[i], math.Log(float64(n))/math.Log(16))
 	}
 	return Result{
 		ID:         "E7",
@@ -314,59 +332,71 @@ func E11MaliciousRouting(scale Scale, seed int64) Result {
 	}
 	fracs := []float64{0.05, 0.10, 0.20, 0.30}
 	tbl := &metrics.Table{Header: []string{"malicious", "mode", "1 try", "<=3 tries", "<=8 tries"}}
+	type config struct {
+		f         float64
+		randomize bool
+	}
+	var grid []config
 	for _, f := range fracs {
 		for _, randomize := range []bool{false, true} {
-			c, recs := mustRoutingCluster(n, seed, func(o *cluster.Options) {
-				o.Pastry.Randomize = randomize
-				o.Pastry.Bias = 0.7
-			})
-			// Mark a fraction of nodes malicious: they accept traffic but
-			// silently drop anything they should forward.
-			bad := make(map[int]bool)
-			for len(bad) < int(f*float64(n)) {
-				i := c.RandomLiveNode()
-				if !bad[i] {
-					bad[i] = true
-					c.Eps[i].SetSendFilter(func(to string, m wire.Msg) bool {
-						_, isRouted := m.(wire.Routed)
-						return isRouted
-					})
-				}
-			}
-			succ1, succ3, succ8 := 0, 0, 0
-			for t := 0; t < trials; t++ {
-				key := id.Rand(uint64(seed)<<32 + uint64(t))
-				from := c.RandomLiveNode()
-				for bad[from] {
-					from = c.RandomLiveNode()
-				}
-				// The destination may itself be malicious; that's fine —
-				// it still delivers to its own application.
-				attempt := 0
-				ok := false
-				for attempt < 8 && !ok {
-					attempt++
-					_, ok = probeRoute(c, recs, from, key, uint64(t)<<8|uint64(attempt))
-				}
-				if ok {
-					if attempt == 1 {
-						succ1++
-					}
-					if attempt <= 3 {
-						succ3++
-					}
-					if attempt <= 8 {
-						succ8++
-					}
-				}
-			}
-			mode := "deterministic"
-			if randomize {
-				mode = "randomized"
-			}
-			tbl.AddRow(fmt.Sprintf("%.0f%%", f*100), mode,
-				frac(succ1, trials), frac(succ3, trials), frac(succ8, trials))
+			grid = append(grid, config{f, randomize})
 		}
+	}
+	type point struct{ succ1, succ3, succ8 int }
+	pts := make([]point, len(grid))
+	forEachPoint(len(grid), func(i int) {
+		f, randomize := grid[i].f, grid[i].randomize
+		c, recs := mustRoutingCluster(n, seed, func(o *cluster.Options) {
+			o.Pastry.Randomize = randomize
+			o.Pastry.Bias = 0.7
+		})
+		// Mark a fraction of nodes malicious: they accept traffic but
+		// silently drop anything they should forward.
+		bad := make(map[int]bool)
+		for len(bad) < int(f*float64(n)) {
+			j := c.RandomLiveNode()
+			if !bad[j] {
+				bad[j] = true
+				c.Eps[j].SetSendFilter(func(to string, m wire.Msg) bool {
+					_, isRouted := m.(wire.Routed)
+					return isRouted
+				})
+			}
+		}
+		for t := 0; t < trials; t++ {
+			key := id.Rand(uint64(seed)<<32 + uint64(t))
+			from := c.RandomLiveNode()
+			for bad[from] {
+				from = c.RandomLiveNode()
+			}
+			// The destination may itself be malicious; that's fine —
+			// it still delivers to its own application.
+			attempt := 0
+			ok := false
+			for attempt < 8 && !ok {
+				attempt++
+				_, ok = probeRoute(c, recs, from, key, uint64(t)<<8|uint64(attempt))
+			}
+			if ok {
+				if attempt == 1 {
+					pts[i].succ1++
+				}
+				if attempt <= 3 {
+					pts[i].succ3++
+				}
+				if attempt <= 8 {
+					pts[i].succ8++
+				}
+			}
+		}
+	})
+	for i, g := range grid {
+		mode := "deterministic"
+		if g.randomize {
+			mode = "randomized"
+		}
+		tbl.AddRow(fmt.Sprintf("%.0f%%", g.f*100), mode,
+			frac(pts[i].succ1, trials), frac(pts[i].succ3, trials), frac(pts[i].succ8, trials))
 	}
 	return Result{
 		ID:         "E11",
@@ -442,26 +472,34 @@ func A1ParameterAblation(scale Scale, seed int64) Result {
 		n, trials = 4096, 1000
 	}
 	tbl := &metrics.Table{Header: []string{"b", "l", "avg hops", "avg RT entries", "avg leaf"}}
+	type config struct{ b, l int }
+	var grid []config
 	for _, b := range []int{2, 3, 4} {
 		for _, l := range []int{16, 32} {
-			c, recs := mustRoutingCluster(n, seed, func(o *cluster.Options) {
-				o.Pastry.B = b
-				o.Pastry.L = l
-			})
-			var hops, rt, leaf metrics.Summary
-			for t := 0; t < trials; t++ {
-				key := id.Rand(uint64(seed)<<32 + uint64(t))
-				if d, ok := probeRoute(c, recs, c.RandomLiveNode(), key, uint64(t)); ok {
-					hops.Add(float64(d.Routed.Hops))
-				}
-			}
-			for _, nd := range c.Nodes {
-				r, lv, _ := nd.StateSize()
-				rt.Add(float64(r))
-				leaf.Add(float64(lv))
-			}
-			tbl.AddRow(b, l, hops.Mean(), rt.Mean(), leaf.Mean())
+			grid = append(grid, config{b, l})
 		}
+	}
+	type point struct{ hops, rt, leaf metrics.Summary }
+	pts := make([]point, len(grid))
+	forEachPoint(len(grid), func(i int) {
+		c, recs := mustRoutingCluster(n, seed, func(o *cluster.Options) {
+			o.Pastry.B = grid[i].b
+			o.Pastry.L = grid[i].l
+		})
+		for t := 0; t < trials; t++ {
+			key := id.Rand(uint64(seed)<<32 + uint64(t))
+			if d, ok := probeRoute(c, recs, c.RandomLiveNode(), key, uint64(t)); ok {
+				pts[i].hops.Add(float64(d.Routed.Hops))
+			}
+		}
+		for _, nd := range c.Nodes {
+			r, lv, _ := nd.StateSize()
+			pts[i].rt.Add(float64(r))
+			pts[i].leaf.Add(float64(lv))
+		}
+	})
+	for i, g := range grid {
+		tbl.AddRow(g.b, g.l, pts[i].hops.Mean(), pts[i].rt.Mean(), pts[i].leaf.Mean())
 	}
 	return Result{
 		ID:         "A1",

@@ -236,44 +236,52 @@ func E10Caching(scale Scale, seed int64) Result {
 		n, files, lookups = 2000, 400, 20000
 	}
 	tbl := &metrics.Table{Header: []string{"caching", "fill", "hit rate", "avg hops", "avg distance (ms)"}}
-	for _, caching := range []bool{true, false} {
-		for _, fill := range []string{"low", "high"} {
-			cfg := defaultPASTConfig()
-			cfg.Caching = caching
-			pc := mustPAST(n, seed, cfg, nil, nil)
-			sizes := experimentSizes(seed+5, cfg.Capacity)
-			// Insert the popular file population.
-			var ids []pastInsert
-			for i := 0; i < files; i++ {
-				node := pc.Rand().Intn(n)
-				res := pc.insert(node, pc.Cards[node], fmt.Sprintf("pop-%d", i), make([]byte, sizes.Draw()), cfg.K)
-				if res.Err == nil {
-					ids = append(ids, pastInsert{res.FileID, res.Cert.Size})
-				}
+	type config struct {
+		caching bool
+		fill    string
+	}
+	grid := []config{{true, "low"}, {true, "high"}, {false, "low"}, {false, "high"}}
+	type point struct {
+		hops, dist  metrics.Summary
+		hits, total int
+	}
+	pts := make([]point, len(grid))
+	forEachPoint(len(grid), func(i int) {
+		caching, fill := grid[i].caching, grid[i].fill
+		cfg := defaultPASTConfig()
+		cfg.Caching = caching
+		pc := mustPAST(n, seed, cfg, nil, nil)
+		sizes := experimentSizes(seed+5, cfg.Capacity)
+		// Insert the popular file population.
+		var ids []pastInsert
+		for f := 0; f < files; f++ {
+			node := pc.Rand().Intn(n)
+			res := pc.insert(node, pc.Cards[node], fmt.Sprintf("pop-%d", f), make([]byte, sizes.Draw()), cfg.K)
+			if res.Err == nil {
+				ids = append(ids, pastInsert{res.FileID, res.Cert.Size})
 			}
-			if fill == "high" {
-				// Consume most remaining capacity with filler files.
-				driveToSaturation(pc, sizes, cfg.K, 20*n, 10)
-			}
-			z := workload.NewZipf(seed+6, 1.1, len(ids))
-			var hops, dist metrics.Summary
-			hits := 0
-			total := 0
-			for t := 0; t < lookups; t++ {
-				f := ids[z.Draw()]
-				lr := pc.lookup(pc.Rand().Intn(n), f.id)
-				if lr.Err != nil {
-					continue
-				}
-				total++
-				if lr.Cached {
-					hits++
-				}
-				hops.Add(float64(lr.Hops))
-				dist.Add(lr.Distance)
-			}
-			tbl.AddRow(onOff(caching), fill, frac(hits, total), hops.Mean(), dist.Mean())
 		}
+		if fill == "high" {
+			// Consume most remaining capacity with filler files.
+			driveToSaturation(pc, sizes, cfg.K, 20*n, 10)
+		}
+		z := workload.NewZipf(seed+6, 1.1, len(ids))
+		for t := 0; t < lookups; t++ {
+			f := ids[z.Draw()]
+			lr := pc.lookup(pc.Rand().Intn(n), f.id)
+			if lr.Err != nil {
+				continue
+			}
+			pts[i].total++
+			if lr.Cached {
+				pts[i].hits++
+			}
+			pts[i].hops.Add(float64(lr.Hops))
+			pts[i].dist.Add(lr.Distance)
+		}
+	})
+	for i, g := range grid {
+		tbl.AddRow(onOff(g.caching), g.fill, frac(pts[i].hits, pts[i].total), pts[i].hops.Mean(), pts[i].dist.Mean())
 	}
 	return Result{
 		ID:         "E10",
@@ -358,17 +366,20 @@ func A2DiversionAblation(scale Scale, seed int64) Result {
 		n, maxInserts = 300, 20000
 	}
 	tbl := &metrics.Table{Header: []string{"replica diversion", "file diversion", "final util", "reject rate"}}
-	for _, rd := range []bool{false, true} {
-		for _, fd := range []bool{false, true} {
-			cfg := defaultPASTConfig()
-			cfg.ReplicaDiversion = rd
-			cfg.FileDiversion = fd
-			sizes := experimentSizes(seed+4, cfg.Capacity)
-			pc := mustPAST(n, seed, cfg, nil, nil)
-			run := driveToSaturation(pc, sizes, cfg.K, maxInserts, 15)
-			tbl.AddRow(onOff(rd), onOff(fd),
-				fmt.Sprintf("%.1f%%", run.finalUtil*100), frac(run.rejects, run.attempts))
-		}
+	type config struct{ rd, fd bool }
+	grid := []config{{false, false}, {false, true}, {true, false}, {true, true}}
+	runs := make([]*storageRun, len(grid))
+	forEachPoint(len(grid), func(i int) {
+		cfg := defaultPASTConfig()
+		cfg.ReplicaDiversion = grid[i].rd
+		cfg.FileDiversion = grid[i].fd
+		sizes := experimentSizes(seed+4, cfg.Capacity)
+		pc := mustPAST(n, seed, cfg, nil, nil)
+		runs[i] = driveToSaturation(pc, sizes, cfg.K, maxInserts, 15)
+	})
+	for i, g := range grid {
+		tbl.AddRow(onOff(g.rd), onOff(g.fd),
+			fmt.Sprintf("%.1f%%", runs[i].finalUtil*100), frac(runs[i].rejects, runs[i].attempts))
 	}
 	return Result{
 		ID:         "A2",

@@ -1,0 +1,115 @@
+package id
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randNode draws a pseudo-random identifier from a test RNG.
+func randNode(rng *rand.Rand) Node {
+	var n Node
+	rng.Read(n[:])
+	return n
+}
+
+// TestDigitFastPathMatchesGeneric proves the b=4 nibble path is
+// bit-identical to the generic bit-walking implementation across random
+// ids and every digit position, and that other b values still use the
+// generic result.
+func TestDigitFastPathMatchesGeneric(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 500; trial++ {
+		n := randNode(rng)
+		for _, b := range []int{1, 2, 4, 8} {
+			for i := 0; i < NodeBits/b; i++ {
+				if got, want := n.Digit(i, b), digit(n[:], i, b); got != want {
+					t.Fatalf("Node %s Digit(%d, %d) = %d, generic = %d", n, i, b, got, want)
+				}
+			}
+		}
+		var f File
+		rng.Read(f[:])
+		for i := 0; i < FileBits/4; i++ {
+			if got, want := f.Digit(i, 4), digit(f[:], i, 4); got != want {
+				t.Fatalf("File %s Digit(%d, 4) = %d, generic = %d", f, i, got, want)
+			}
+		}
+	}
+}
+
+func TestDigitFastPathPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Digit(32, 4) on a 128-bit id should panic like the generic path")
+		}
+	}()
+	var n Node
+	n.Digit(NodeBits/4, 4)
+}
+
+// TestSetDigitFastPathMatchesGeneric proves the b=4 write path matches
+// the generic implementation for every position and value, including
+// values wider than one digit (both mask to the low b bits).
+func TestSetDigitFastPathMatchesGeneric(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		n := randNode(rng)
+		for i := 0; i < NodeBits/4; i++ {
+			for _, v := range []int{0, 1, 7, 15, rng.Intn(16), 16 + rng.Intn(240)} {
+				if got, want := n.SetDigit(i, 4, v), n.setDigitGeneric(i, 4, v); got != want {
+					t.Fatalf("SetDigit(%d, 4, %d): fast %s != generic %s", i, v, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestSetDigitRoundTrip checks Digit(SetDigit(...)) for all b the
+// routing table can use.
+func TestSetDigitRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		n := randNode(rng)
+		for _, b := range []int{1, 2, 4, 8} {
+			i := rng.Intn(NodeBits / b)
+			v := rng.Intn(1 << b)
+			if got := n.SetDigit(i, b, v).Digit(i, b); got != v {
+				t.Fatalf("SetDigit(%d, %d, %d) round-trips to %d", i, b, v, got)
+			}
+		}
+	}
+}
+
+// TestCommonPrefixFastPathMatchesGeneric proves the word-compare
+// implementation matches the byte-walking reference for random pairs and
+// for adversarial pairs sharing exact digit-length prefixes.
+func TestCommonPrefixFastPathMatchesGeneric(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 500; trial++ {
+		n, m := randNode(rng), randNode(rng)
+		for _, b := range []int{1, 2, 3, 4, 5, 8} {
+			if got, want := CommonPrefix(n, m, b), commonPrefixGeneric(n, m, b); got != want {
+				t.Fatalf("CommonPrefix(%s, %s, %d) = %d, generic = %d", n, m, b, got, want)
+			}
+		}
+		// Adversarial: force an exact shared prefix of `p` b-digits, then
+		// differ in the next digit.
+		for _, b := range []int{1, 4, 8} {
+			p := rng.Intn(NodeBits / b)
+			m2 := n
+			m2 = m2.SetDigit(p, b, n.Digit(p, b)^1)
+			if got, want := CommonPrefix(n, m2, b), commonPrefixGeneric(n, m2, b); got != want {
+				t.Fatalf("prefix-%d pair: fast %d, generic %d (b=%d)", p, got, want, b)
+			}
+			if got := CommonPrefix(n, m2, b); got != p {
+				t.Fatalf("constructed pair should share exactly %d digits, got %d", p, got)
+			}
+		}
+		// Equal ids: full-width prefix.
+		for _, b := range []int{1, 2, 4, 8} {
+			if got := CommonPrefix(n, n, b); got != NodeBits/b {
+				t.Fatalf("CommonPrefix(n, n, %d) = %d, want %d", b, got, NodeBits/b)
+			}
+		}
+	}
+}

@@ -220,16 +220,35 @@ func Between(x, a, b Node) bool {
 
 // Digit returns the i-th base-2^b digit of the identifier (digit 0 is the
 // most significant). b must divide into the bit width sensibly; Pastry uses
-// b in 1..8.
+// b in 1..8. The default b=4 takes a nibble fast path.
 func (n Node) Digit(i, b int) int {
+	if b == 4 {
+		return nibbleAt(n[:], i, b)
+	}
 	return digit(n[:], i, b)
 }
 
 // Digit returns the i-th base-2^b digit of the file identifier.
 func (f File) Digit(i, b int) int {
+	if b == 4 {
+		return nibbleAt(f[:], i, b)
+	}
 	return digit(f[:], i, b)
 }
 
+// nibbleAt extracts hex digit i directly from the backing byte: digit 2k
+// is the high nibble of byte k, digit 2k+1 the low nibble. It matches
+// digit(p, i, 4) bit for bit (see TestDigitFastPathMatchesGeneric).
+func nibbleAt(p []byte, i, b int) int {
+	if uint(i) >= uint(len(p)*2) {
+		panic(fmt.Sprintf("id: digit %d with b=%d out of range for %d-bit id", i, b, len(p)*8))
+	}
+	shift := uint(4 * (1 - i&1))
+	return int(p[i>>1] >> shift & 0xf)
+}
+
+// digit is the generic any-b extraction path, kept as the reference
+// implementation the fast paths are property-tested against.
 func digit(p []byte, i, b int) int {
 	start := i * b
 	end := start + b
@@ -246,7 +265,18 @@ func digit(p []byte, i, b int) int {
 }
 
 // SetDigit returns a copy of n with the i-th base-2^b digit set to v.
+// The default b=4 takes a nibble fast path.
 func (n Node) SetDigit(i, b, v int) Node {
+	if b == 4 {
+		shift := uint(4 * (1 - i&1))
+		n[i>>1] = n[i>>1]&^(0xf<<shift) | byte(v&0xf)<<shift
+		return n
+	}
+	return n.setDigitGeneric(i, b, v)
+}
+
+// setDigitGeneric is the any-b reference implementation.
+func (n Node) setDigitGeneric(i, b, v int) Node {
 	start := i * b
 	for k := 0; k < b; k++ {
 		bit := start + k
@@ -263,9 +293,24 @@ func (n Node) SetDigit(i, b, v int) Node {
 }
 
 // CommonPrefix returns the number of leading base-2^b digits shared by n
-// and m. The maximum is NodeBits/b (rounded down).
+// and m. The maximum is NodeBits/b (rounded down). It compares the two
+// 64-bit halves directly instead of walking bytes; routing calls this on
+// every hop for every candidate.
 func CommonPrefix(n, m Node, b int) int {
-	// Count identical leading bits first, then convert to whole digits.
+	var bitsSame int
+	if x := n.hi() ^ m.hi(); x != 0 {
+		bitsSame = bits.LeadingZeros64(x)
+	} else if y := n.lo() ^ m.lo(); y != 0 {
+		bitsSame = 64 + bits.LeadingZeros64(y)
+	} else {
+		bitsSame = NodeBits
+	}
+	return bitsSame / b
+}
+
+// commonPrefixGeneric is the byte-walking reference implementation kept
+// for property tests.
+func commonPrefixGeneric(n, m Node, b int) int {
 	bitsSame := 0
 	for i := 0; i < NodeBytes; i++ {
 		x := n[i] ^ m[i]

@@ -155,11 +155,15 @@ func TestLookupVerifiesAuthenticity(t *testing.T) {
 		t.Fatal(res.Err)
 	}
 	// Corrupt every stored replica; the client's verification must fail.
+	// Store.Put is zero-copy, so all replicas alias one backing array:
+	// give each node its own corrupted copy instead of XOR-ing the shared
+	// bytes in place (an even number of in-place flips would cancel out).
+	corrupted := append([]byte(nil), []byte("authentic content")...)
+	corrupted[0] ^= 0xFF
 	for _, pn := range pc.PAST {
 		if pn.Store().Has(res.FileID) {
 			it, _ := pn.Store().Get(res.FileID)
-			it.Data[0] ^= 0xFF
-			// Data is a copy; re-store the corrupted version.
+			it.Data = append([]byte(nil), corrupted...)
 			pn.Store().Delete(res.FileID)
 			pn.Store().Put(it)
 		}

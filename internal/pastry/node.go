@@ -121,6 +121,12 @@ type Node struct {
 	joinSeen  map[id.Node]bool // nodes discovered during join, to announce to
 
 	lastSeen map[id.Node]time.Duration
+	// candBuf and candSeen are per-node scratch reused by candidates()
+	// so per-route candidate scans allocate nothing in steady state.
+	// Guarded by mu, like the routing state they snapshot; callers must
+	// not retain the returned slice past the locked section.
+	candBuf  []wire.NodeRef
+	candSeen map[id.Node]struct{}
 	// suspect records nodes recently declared dead; third-party mentions
 	// of them (in leaf-set replies, announce fan-out, etc.) are ignored
 	// until the entry expires, so repair gossip from peers that have not
@@ -242,9 +248,11 @@ func (n *Node) nextNonce() uint64 {
 func (n *Node) Route(key id.Node, payload wire.Msg) {
 	n.mu.Lock()
 	r := wire.Routed{Key: key, Payload: payload, Origin: n.ref, Nonce: n.nextNonce()}
-	acts := n.handleRouted(n.ref.Addr, r)
+	act := n.handleRouted(n.ref.Addr, r)
 	n.mu.Unlock()
-	run(acts)
+	if act != nil {
+		act()
+	}
 }
 
 // Send transmits an application message directly to a known node,
@@ -338,9 +346,10 @@ func (n *Node) handle(from string, m wire.Msg) {
 		return
 	}
 	var acts []func()
+	var act func() // single deferred upcall for the hot Routed path
 	switch msg := m.(type) {
 	case wire.Routed:
-		acts = n.handleRouted(from, msg)
+		act = n.handleRouted(from, msg)
 	case wire.RouteRows:
 		acts = n.handleRouteRows(msg)
 	case wire.LeafSetReply:
@@ -370,6 +379,9 @@ func (n *Node) handle(from string, m wire.Msg) {
 		return
 	}
 	n.mu.Unlock()
+	if act != nil {
+		act()
+	}
 	run(acts)
 }
 
@@ -415,27 +427,28 @@ func (n *Node) considerLocked(ref wire.NodeRef) bool {
 // Routing
 
 // handleRouted implements the routing procedure of section 2.2. Lock held;
-// returns deferred upcalls.
-func (n *Node) handleRouted(from string, r wire.Routed) []func() {
+// returns the single deferred upcall (or nil).
+func (n *Node) handleRouted(from string, r wire.Routed) func() {
 	if jr, ok := r.Payload.(wire.JoinRequest); ok {
-		return n.handleJoinRouted(from, r, jr)
+		n.handleJoinRouted(from, r, jr)
+		return nil
 	}
 	next, deliver := n.nextHop(r.Key)
 	if deliver {
 		app := n.app
 		fromRef := wire.NodeRef{Addr: from}
-		return []func(){func() { app.Deliver(r, fromRef) }}
+		return func() { app.Deliver(r, fromRef) }
 	}
 	app := n.app
 	fwd := r
 	fwd.Hops++
 	fwd.Distance += n.tr.Proximity(next.Addr)
 	tr := n.tr
-	return []func(){func() {
+	return func() {
 		if app.Forward(&fwd, next) {
 			tr.Send(next.Addr, fwd)
 		}
-	}}
+	}
 }
 
 // nextHop picks the routing target for key per section 2.2: the leaf set
@@ -497,21 +510,30 @@ func (n *Node) rareCase(key id.Node) (wire.NodeRef, bool) {
 	return best, found
 }
 
-// candidates lists every node in local state, deduplicated. Lock held.
+// candidates lists every node in local state, deduplicated, into the
+// node's reusable scratch slice. Lock held. The returned slice is valid
+// only until the next candidates() call and must not be retained.
 func (n *Node) candidates() []wire.NodeRef {
-	seen := make(map[id.Node]bool, 64)
-	var out []wire.NodeRef
-	add := func(refs []wire.NodeRef) {
-		for _, c := range refs {
-			if !c.IsZero() && c.ID != n.ref.ID && !seen[c.ID] {
-				seen[c.ID] = true
-				out = append(out, c)
-			}
-		}
+	if n.candSeen == nil {
+		n.candSeen = make(map[id.Node]struct{}, 64)
+	} else {
+		clear(n.candSeen)
 	}
-	add(n.leaf.Members())
-	add(n.rt.All(nil))
-	add(n.nbhd.Members())
+	out := n.candBuf[:0]
+	add := func(c wire.NodeRef) {
+		if c.IsZero() || c.ID == n.ref.ID {
+			return
+		}
+		if _, dup := n.candSeen[c.ID]; dup {
+			return
+		}
+		n.candSeen[c.ID] = struct{}{}
+		out = append(out, c)
+	}
+	n.leaf.ForEach(add)
+	n.rt.ForEach(add)
+	n.nbhd.ForEach(add)
+	n.candBuf = out
 	return out
 }
 
@@ -620,10 +642,10 @@ func (n *Node) failedPeer(ref wire.NodeRef) {
 // node's id. Every node on the path contributes routing rows; the first
 // node contributes its neighborhood set; the final node contributes its
 // leaf set. Lock held.
-func (n *Node) handleJoinRouted(from string, r wire.Routed, jr wire.JoinRequest) []func() {
+func (n *Node) handleJoinRouted(from string, r wire.Routed, jr wire.JoinRequest) {
 	x := jr.New
 	if x.ID == n.ref.ID {
-		return nil // own join echoed back; ignore
+		return // own join echoed back; ignore
 	}
 	// Contribute routing rows 0..p where p is the shared prefix length:
 	// row i of this node's table is valid as row i for X whenever the ids
@@ -646,13 +668,12 @@ func (n *Node) handleJoinRouted(from string, r wire.Routed, jr wire.JoinRequest)
 	if deliver {
 		// This is node Z, numerically closest to X: contribute the leaf set.
 		n.tr.Send(x.Addr, wire.LeafSetReply{From: n.ref, Leaves: n.leaf.Members(), Terminal: true})
-		return nil
+		return
 	}
 	fwd := r
 	fwd.Hops++
 	fwd.Distance += n.tr.Proximity(next.Addr)
 	n.tr.Send(next.Addr, fwd)
-	return nil
 }
 
 // handleRouteRows folds received rows into the joining node's state. Lock

@@ -162,16 +162,15 @@ func (t *RoutingTable) Size() int {
 	return n
 }
 
-// All appends every populated entry to dst and returns it.
-func (t *RoutingTable) All(dst []wire.NodeRef) []wire.NodeRef {
+// ForEach visits every populated entry without allocating.
+func (t *RoutingTable) ForEach(f func(wire.NodeRef)) {
 	for _, row := range t.rows {
 		for _, e := range row {
 			if !e.ref.IsZero() {
-				dst = append(dst, e.ref)
+				f(e.ref)
 			}
 		}
 	}
-	return dst
 }
 
 // ---------------------------------------------------------------------------
@@ -291,6 +290,18 @@ func (s *LeafSet) Members() []wire.NodeRef {
 // Len returns the number of distinct members.
 func (s *LeafSet) Len() int { return len(s.Members()) }
 
+// ForEach visits every member without allocating. A node present in both
+// halves (small rings) is visited twice; callers that need distinctness
+// must deduplicate themselves.
+func (s *LeafSet) ForEach(f func(wire.NodeRef)) {
+	for _, m := range s.larger {
+		f(m)
+	}
+	for _, m := range s.smaller {
+		f(m)
+	}
+}
+
 // InRange reports whether key falls within the leaf set's span: between
 // the farthest smaller member and the farthest larger member (inclusive),
 // measured around the ring from the owner. An empty set covers only the
@@ -312,16 +323,19 @@ func (s *LeafSet) InRange(key id.Node) bool {
 
 // Closest returns the member numerically closest to key, considering the
 // owner as well; selfBest reports whether the owner itself is closest.
+// It scans the halves directly (duplicates cannot win against
+// themselves), avoiding the Members() allocation on the routing fast
+// path.
 func (s *LeafSet) Closest(key id.Node) (best wire.NodeRef, selfBest bool) {
 	bestID := s.owner
 	selfBest = true
-	for _, m := range s.Members() {
+	s.ForEach(func(m wire.NodeRef) {
 		if id.Closer(key, m.ID, bestID) {
 			bestID = m.ID
 			best = m
 			selfBest = false
 		}
-	}
+	})
 	return best, selfBest
 }
 
@@ -403,6 +417,13 @@ func (nb *Neighborhood) Members() []wire.NodeRef {
 		out[i] = e.ref
 	}
 	return out
+}
+
+// ForEach visits every member without allocating, closest first.
+func (nb *Neighborhood) ForEach(f func(wire.NodeRef)) {
+	for _, e := range nb.entries {
+		f(e.ref)
+	}
 }
 
 // Len returns the number of members.

@@ -115,14 +115,17 @@ func (b *Broker) IssueCard(quota, contribution int64, expiresUnix int64, rng io.
 	}, nil
 }
 
-// cardCertBody is the byte string the broker signs: card public key plus
-// expiry.
-func cardCertBody(pub ed25519.PublicKey, expiresUnix int64) []byte {
-	body := make([]byte, 0, len(pub)+8)
-	body = append(body, pub...)
+// appendCardCertBody serializes the byte string the broker signs — card
+// public key plus expiry — into buf, which may come from bodyPool.
+func appendCardCertBody(buf []byte, pub ed25519.PublicKey, expiresUnix int64) []byte {
+	buf = append(buf, pub...)
 	var e [8]byte
 	binary.BigEndian.PutUint64(e[:], uint64(expiresUnix))
-	return append(body, e[:]...)
+	return append(buf, e[:]...)
+}
+
+func cardCertBody(pub ed25519.PublicKey, expiresUnix int64) []byte {
+	return appendCardCertBody(make([]byte, 0, len(pub)+8), pub, expiresUnix)
 }
 
 func (b *Broker) signCard(pub ed25519.PublicKey, expiresUnix int64) []byte {
@@ -142,7 +145,9 @@ func VerifyCardCert(brokerPub ed25519.PublicKey, pub, cardCert []byte, nowUnix i
 		return ErrBadCardCert
 	}
 	expires := int64(binary.BigEndian.Uint64(cardCert[:8]))
-	if !ed25519.Verify(brokerPub, cardCertBody(pub, expires), cardCert[8:]) {
+	if !verifyBody(brokerPub, cardCert[8:], func(buf []byte) []byte {
+		return appendCardCertBody(buf, pub, expires)
+	}) {
 		return ErrBadCardCert
 	}
 	if expires != 0 && nowUnix > expires {
@@ -188,9 +193,9 @@ func (c *Smartcard) RemainingQuota() int64 {
 	return c.quota
 }
 
-// fileCertBody serializes the signed portion of a file certificate.
-func fileCertBody(c *wire.FileCertificate) []byte {
-	buf := make([]byte, 0, 128+len(c.Salt)+len(c.OwnerPub))
+// appendFileCertBody serializes the signed portion of a file certificate
+// into buf, which may come from bodyPool.
+func appendFileCertBody(buf []byte, c *wire.FileCertificate) []byte {
 	buf = append(buf, c.FileID[:]...)
 	buf = append(buf, c.ContentHash[:]...)
 	var tmp [8]byte
@@ -204,6 +209,10 @@ func fileCertBody(c *wire.FileCertificate) []byte {
 	buf = append(buf, c.Salt...)
 	buf = append(buf, c.OwnerPub...)
 	return buf
+}
+
+func fileCertBody(c *wire.FileCertificate) []byte {
+	return appendFileCertBody(make([]byte, 0, 128+len(c.Salt)+len(c.OwnerPub)), c)
 }
 
 // IssueFileCertificate generates the certificate required before inserting
@@ -252,15 +261,19 @@ func (c *Smartcard) RefundFileCertificate(cert *wire.FileCertificate) {
 	c.mu.Unlock()
 }
 
-// reclaimCertBody serializes the signed portion of a reclaim certificate.
-func reclaimCertBody(c *wire.ReclaimCertificate) []byte {
-	buf := make([]byte, 0, 64+len(c.OwnerPub))
+// appendReclaimCertBody serializes the signed portion of a reclaim
+// certificate into buf, which may come from bodyPool.
+func appendReclaimCertBody(buf []byte, c *wire.ReclaimCertificate) []byte {
 	buf = append(buf, c.FileID[:]...)
 	var tmp [8]byte
 	binary.BigEndian.PutUint64(tmp[:], uint64(c.Issued))
 	buf = append(buf, tmp[:]...)
 	buf = append(buf, c.OwnerPub...)
 	return buf
+}
+
+func reclaimCertBody(c *wire.ReclaimCertificate) []byte {
+	return appendReclaimCertBody(make([]byte, 0, 64+len(c.OwnerPub)), c)
 }
 
 // IssueReclaimCertificate authorizes reclaiming the storage of fileID
@@ -302,8 +315,9 @@ func (c *Smartcard) SignStoreReceipt(r *wire.StoreReceipt) {
 	r.Sig = ed25519.Sign(c.priv, storeReceiptBody(r))
 }
 
-func storeReceiptBody(r *wire.StoreReceipt) []byte {
-	buf := make([]byte, 0, 96)
+// appendStoreReceiptBody serializes the signed portion of a store receipt
+// into buf, which may come from bodyPool.
+func appendStoreReceiptBody(buf []byte, r *wire.StoreReceipt) []byte {
 	buf = append(buf, r.FileID[:]...)
 	buf = append(buf, r.StoredBy.ID[:]...)
 	buf = append(buf, r.OnBehalfOf.ID[:]...)
@@ -318,13 +332,19 @@ func storeReceiptBody(r *wire.StoreReceipt) []byte {
 	return buf
 }
 
+func storeReceiptBody(r *wire.StoreReceipt) []byte {
+	return appendStoreReceiptBody(make([]byte, 0, 96), r)
+}
+
 // VerifyStoreReceipt checks a store receipt's signature and that the
 // signing card's nodeId matches the node that claims to have stored.
 func VerifyStoreReceipt(r *wire.StoreReceipt) error {
 	if len(r.NodePub) != ed25519.PublicKeySize {
 		return ErrBadSignature
 	}
-	if !ed25519.Verify(ed25519.PublicKey(r.NodePub), storeReceiptBody(r), r.Sig) {
+	if !verifyBody(ed25519.PublicKey(r.NodePub), r.Sig, func(buf []byte) []byte {
+		return appendStoreReceiptBody(buf, r)
+	}) {
 		return ErrBadSignature
 	}
 	if id.HashNode(r.NodePub) != r.StoredBy.ID {
@@ -340,8 +360,9 @@ func (c *Smartcard) SignReclaimReceipt(r *wire.ReclaimReceipt) {
 	r.Sig = ed25519.Sign(c.priv, reclaimReceiptBody(r))
 }
 
-func reclaimReceiptBody(r *wire.ReclaimReceipt) []byte {
-	buf := make([]byte, 0, 64)
+// appendReclaimReceiptBody serializes the signed portion of a reclaim
+// receipt into buf, which may come from bodyPool.
+func appendReclaimReceiptBody(buf []byte, r *wire.ReclaimReceipt) []byte {
 	buf = append(buf, r.FileID[:]...)
 	var tmp [8]byte
 	binary.BigEndian.PutUint64(tmp[:], uint64(r.Freed))
@@ -350,12 +371,18 @@ func reclaimReceiptBody(r *wire.ReclaimReceipt) []byte {
 	return buf
 }
 
+func reclaimReceiptBody(r *wire.ReclaimReceipt) []byte {
+	return appendReclaimReceiptBody(make([]byte, 0, 64), r)
+}
+
 // VerifyReclaimReceipt checks a reclaim receipt's signature.
 func VerifyReclaimReceipt(brokerPub ed25519.PublicKey, r *wire.ReclaimReceipt, nowUnix int64) error {
 	if len(r.NodePub) != ed25519.PublicKeySize {
 		return ErrBadSignature
 	}
-	if !ed25519.Verify(ed25519.PublicKey(r.NodePub), reclaimReceiptBody(r), r.Sig) {
+	if !verifyBody(ed25519.PublicKey(r.NodePub), r.Sig, func(buf []byte) []byte {
+		return appendReclaimReceiptBody(buf, r)
+	}) {
 		return ErrBadSignature
 	}
 	if id.HashNode(r.NodePub) != r.By.ID {
@@ -380,7 +407,9 @@ func VerifyFileCertificate(brokerPub ed25519.PublicKey, cert *wire.FileCertifica
 	if err := VerifyCardCert(brokerPub, cert.OwnerPub, cert.CardCert, nowUnix); err != nil {
 		return err
 	}
-	if !ed25519.Verify(ed25519.PublicKey(cert.OwnerPub), fileCertBody(cert), cert.Sig) {
+	if !verifyBody(ed25519.PublicKey(cert.OwnerPub), cert.Sig, func(buf []byte) []byte {
+		return appendFileCertBody(buf, cert)
+	}) {
 		return ErrBadSignature
 	}
 	return nil
@@ -422,7 +451,9 @@ func VerifyReclaimAuthorized(brokerPub ed25519.PublicKey, rc *wire.ReclaimCertif
 	if err := VerifyCardCert(brokerPub, rc.OwnerPub, rc.CardCert, nowUnix); err != nil {
 		return err
 	}
-	if !ed25519.Verify(ed25519.PublicKey(rc.OwnerPub), reclaimCertBody(rc), rc.Sig) {
+	if !verifyBody(ed25519.PublicKey(rc.OwnerPub), rc.Sig, func(buf []byte) []byte {
+		return appendReclaimCertBody(buf, rc)
+	}) {
 		return ErrBadSignature
 	}
 	if !equalBytes(rc.OwnerPub, fc.OwnerPub) {

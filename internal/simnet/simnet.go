@@ -14,9 +14,9 @@
 package simnet
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
+	"strconv"
 	"time"
 
 	"past/internal/transport"
@@ -45,6 +45,7 @@ type Net struct {
 	rng      *rand.Rand
 	now      time.Duration
 	events   eventHeap
+	free     []*event // recycled events (see newEvent/release)
 	seq      uint64
 	eps      []*Endpoint
 	dist     Distance
@@ -68,13 +69,18 @@ func New(cfg Config, dist Distance) *Net {
 }
 
 // Addr formats the simulator address of endpoint index i.
-func Addr(i int) string { return fmt.Sprintf("sim:%d", i) }
+func Addr(i int) string { return "sim:" + strconv.Itoa(i) }
 
-// Index parses an endpoint index out of a simulator address.
+// Index parses an endpoint index out of a simulator address. It is on
+// the path of every simulated Send and Proximity call, so it uses
+// strconv instead of fmt (whose scanner allocates per call).
 func Index(addr string) (int, error) {
-	var i int
-	if _, err := fmt.Sscanf(addr, "sim:%d", &i); err != nil {
-		return 0, fmt.Errorf("simnet: bad address %q: %w", addr, err)
+	if len(addr) < 5 || addr[:4] != "sim:" {
+		return 0, fmt.Errorf("simnet: bad address %q", addr)
+	}
+	i, err := strconv.Atoi(addr[4:])
+	if err != nil || i < 0 {
+		return 0, fmt.Errorf("simnet: bad address %q", addr)
 	}
 	return i, nil
 }
@@ -83,7 +89,7 @@ func Index(addr string) (int, error) {
 // indices that must correspond to the node indices used by the Distance
 // function.
 func (n *Net) NewEndpoint() *Endpoint {
-	ep := &Endpoint{net: n, idx: len(n.eps), up: true}
+	ep := &Endpoint{net: n, idx: len(n.eps), addr: Addr(len(n.eps)), up: true}
 	n.eps = append(n.eps, ep)
 	return ep
 }
@@ -115,20 +121,62 @@ func (n *Net) ResetCounters() {
 	n.byKind = make(map[string]uint64)
 }
 
-// schedule enqueues fn at absolute virtual time at.
-func (n *Net) schedule(at time.Duration, fn func()) *event {
+// newEvent takes an event from the per-Net free list (or allocates one)
+// and stamps it with the next sequence number. The free list is safe
+// without locking because each Net is single-threaded by contract.
+func (n *Net) newEvent(at time.Duration) *event {
 	if at < n.now {
 		at = n.now
 	}
-	ev := &event{at: at, seq: n.seq, fn: fn}
+	var ev *event
+	if k := len(n.free); k > 0 {
+		ev = n.free[k-1]
+		n.free[k-1] = nil
+		n.free = n.free[:k-1]
+	} else {
+		ev = &event{}
+	}
+	ev.at = at
+	ev.seq = n.seq
 	n.seq++
-	heap.Push(&n.events, ev)
 	return ev
+}
+
+// release returns a processed or cancelled event to the free list. The
+// generation bump invalidates any simTimer still holding the event, so a
+// late Stop on a fired timer is a harmless no-op instead of cancelling
+// whatever the slot was recycled into.
+func (n *Net) release(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	ev.target = nil
+	ev.msg = nil
+	ev.from = ""
+	ev.cancelled = false
+	n.free = append(n.free, ev)
+}
+
+// schedule enqueues fn at absolute virtual time at.
+func (n *Net) schedule(at time.Duration, fn func()) *event {
+	ev := n.newEvent(at)
+	ev.fn = fn
+	n.events.push(ev)
+	return ev
+}
+
+// scheduleMsg enqueues a message delivery without allocating a closure.
+func (n *Net) scheduleMsg(at time.Duration, target *Endpoint, from string, m wire.Msg) {
+	ev := n.newEvent(at)
+	ev.target = target
+	ev.from = from
+	ev.msg = m
+	n.events.push(ev)
 }
 
 // AfterFunc implements clock scheduling on the virtual timeline.
 func (n *Net) AfterFunc(d time.Duration, f func()) transport.Timer {
-	return &simTimer{ev: n.schedule(n.now+d, f)}
+	ev := n.schedule(n.now+d, f)
+	return &simTimer{ev: ev, gen: ev.gen}
 }
 
 // Clock returns the simulation's virtual clock.
@@ -141,10 +189,17 @@ func (c simClock) AfterFunc(d time.Duration, f func()) transport.Timer {
 	return c.n.AfterFunc(d, f)
 }
 
-type simTimer struct{ ev *event }
+// simTimer is a handle onto a pooled event. The generation snapshot keeps
+// Stop safe after the event has fired and been recycled.
+type simTimer struct {
+	ev  *event
+	gen uint64
+}
 
 func (t *simTimer) Stop() bool {
-	if t.ev.cancelled || t.ev.done {
+	// A fired event was released, bumping gen, so the first check also
+	// covers "already fired".
+	if t.ev.gen != t.gen || t.ev.cancelled {
 		return false
 	}
 	t.ev.cancelled = true
@@ -155,16 +210,39 @@ func (t *simTimer) Stop() bool {
 // empty.
 func (n *Net) Step() bool {
 	for n.events.Len() > 0 {
-		ev := heap.Pop(&n.events).(*event)
+		ev := n.events.pop()
 		if ev.cancelled {
+			n.release(ev)
 			continue
 		}
 		n.now = ev.at
-		ev.done = true
-		ev.fn()
+		if ev.target != nil {
+			target, from, m := ev.target, ev.from, ev.msg
+			n.release(ev)
+			n.deliver(target, from, m)
+		} else {
+			fn := ev.fn
+			n.release(ev)
+			fn()
+		}
 		return true
 	}
 	return false
+}
+
+// deliver hands a message to its endpoint, honoring crash state and
+// counters. This is the former Send closure, un-closured so message
+// events need no per-message allocation beyond the pooled event.
+func (n *Net) deliver(target *Endpoint, from string, m wire.Msg) {
+	if !target.Up() || target.handler == nil {
+		return
+	}
+	n.msgCount++
+	n.byKind[m.Kind()]++
+	if n.TraceFn != nil {
+		n.TraceFn(n.now, from, target.Addr(), m)
+	}
+	target.handler(from, m)
 }
 
 // RunUntilIdle processes events until none remain. Protocols with periodic
@@ -179,9 +257,9 @@ func (n *Net) RunUntilIdle() {
 func (n *Net) RunFor(d time.Duration) {
 	deadline := n.now + d
 	for n.events.Len() > 0 {
-		next := n.events[0]
+		next := n.events.peek()
 		if next.cancelled {
-			heap.Pop(&n.events)
+			n.release(n.events.pop())
 			continue
 		}
 		if next.at > deadline {
@@ -231,6 +309,7 @@ type DropFilter func(to string, m wire.Msg) bool
 type Endpoint struct {
 	net     *Net
 	idx     int
+	addr    string // precomputed Addr(idx); avoids formatting per Send
 	handler transport.Handler
 	up      bool
 	closed  bool
@@ -239,7 +318,7 @@ type Endpoint struct {
 }
 
 // Addr implements transport.Transport.
-func (e *Endpoint) Addr() string { return Addr(e.idx) }
+func (e *Endpoint) Addr() string { return e.addr }
 
 // Index returns the endpoint's dense index.
 func (e *Endpoint) Index() int { return e.idx }
@@ -283,19 +362,7 @@ func (e *Endpoint) Send(to string, m wire.Msg) error {
 	if n.cfg.DropProb > 0 && n.rng.Float64() < n.cfg.DropProb {
 		return nil
 	}
-	from := e.Addr()
-	target := n.eps[dst]
-	n.schedule(n.now+n.latency(e.idx, dst), func() {
-		if !target.Up() || target.handler == nil {
-			return
-		}
-		n.msgCount++
-		n.byKind[m.Kind()]++
-		if n.TraceFn != nil {
-			n.TraceFn(n.now, from, to, m)
-		}
-		target.handler(from, m)
-	})
+	n.scheduleMsg(n.now+n.latency(e.idx, dst), n.eps[dst], e.Addr(), m)
 	return nil
 }
 
@@ -318,30 +385,78 @@ func (e *Endpoint) Close() error {
 // ---------------------------------------------------------------------------
 // Event heap
 
+// event is one scheduled occurrence: either a timer callback (fn set) or
+// a message delivery (target set). Events are pooled per Net; gen counts
+// recycles so stale timer handles cannot cancel a reused slot.
 type event struct {
 	at        time.Duration
 	seq       uint64
-	fn        func()
+	fn        func()    // timer events
+	target    *Endpoint // message events
+	from      string
+	msg       wire.Msg
 	cancelled bool
-	done      bool
+	gen       uint64
 }
 
-type eventHeap []*event
+// eventHeap is a typed binary min-heap ordered by (at, seq). Replacing
+// the container/heap interface{} plumbing with direct methods removes
+// the per-operation interface conversions and method-value dispatch from
+// the simulator's innermost loop.
+type eventHeap struct {
+	evs []*event
+}
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func (h *eventHeap) Len() int { return len(h.evs) }
+
+func (h *eventHeap) peek() *event { return h.evs[0] }
+
+func eventLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+
+func (h *eventHeap) push(ev *event) {
+	h.evs = append(h.evs, ev)
+	// Sift up.
+	evs := h.evs
+	i := len(evs) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !eventLess(evs[i], evs[parent]) {
+			break
+		}
+		evs[i], evs[parent] = evs[parent], evs[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() *event {
+	evs := h.evs
+	top := evs[0]
+	last := len(evs) - 1
+	evs[0] = evs[last]
+	evs[last] = nil
+	h.evs = evs[:last]
+	// Sift down.
+	evs = h.evs
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(evs) && eventLess(evs[l], evs[smallest]) {
+			smallest = l
+		}
+		if r < len(evs) && eventLess(evs[r], evs[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		evs[i], evs[smallest] = evs[smallest], evs[i]
+		i = smallest
+	}
+	return top
 }

@@ -92,7 +92,8 @@ func (c *Cache) Resize(capacity int64) {
 
 // Put inserts a cached copy with the given refetch-cost estimate. Files
 // larger than the capacity are ignored. It reports whether the file was
-// cached.
+// cached. Like Store.Put, Put takes ownership of item.Data without
+// copying; the caller must treat the bytes as immutable afterwards.
 func (c *Cache) Put(item Item, cost float64) bool {
 	size := int64(len(item.Data))
 	c.mu.Lock()
@@ -116,7 +117,6 @@ func (c *Cache) Put(item Item, cost float64) bool {
 		}
 		c.evictMin()
 	}
-	item.Data = append([]byte(nil), item.Data...)
 	e := &cacheEntry{item: item, weight: w, size: size, seq: c.seq}
 	c.seq++
 	c.entries[item.Cert.FileID] = e

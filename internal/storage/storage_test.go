@@ -76,15 +76,17 @@ func TestStoreDuplicateRejected(t *testing.T) {
 	// inserted twice, so stored content never changes.
 }
 
-func TestStoreDataCopied(t *testing.T) {
+func TestStoreDataZeroCopy(t *testing.T) {
+	// Put takes ownership of the slice without copying: all replicas of an
+	// insert share one backing array, and the caller must treat the bytes
+	// as immutable afterwards (the wire "immutable after Send" rule).
 	s := NewStore(100)
 	data := []byte{1, 2, 3}
 	it := Item{Cert: wire.FileCertificate{FileID: id.RandFile(9)}, Data: data}
 	s.Put(it)
-	data[0] = 99
 	got, _ := s.Get(it.Cert.FileID)
-	if got.Data[0] != 1 {
-		t.Fatal("store aliases caller's buffer")
+	if len(got.Data) != 3 || &got.Data[0] != &data[0] {
+		t.Fatal("store should alias the caller's buffer (zero-copy ownership transfer)")
 	}
 }
 

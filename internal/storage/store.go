@@ -22,6 +22,15 @@ var (
 )
 
 // Item is a stored file: its certificate plus content.
+//
+// Zero-copy convention: Data is shared, never copied. Callers hand
+// ownership of the slice to the store (or cache) at Put and must treat
+// the bytes as immutable from then on — the same rule package wire
+// imposes on message payloads ("immutable after Send"). In the simulator
+// every replica of one insert therefore aliases a single backing array;
+// over the TCP transport the gob codec naturally materializes a fresh
+// copy per process. Content authenticity never depends on this: every
+// node re-checks Data against Cert.ContentHash before serving it.
 type Item struct {
 	Cert wire.FileCertificate
 	Data []byte
@@ -88,7 +97,9 @@ func (s *Store) Len() int {
 }
 
 // Put stores a file. It fails with ErrNoSpace if the content does not fit
-// and ErrDuplicate if the fileId is already present.
+// and ErrDuplicate if the fileId is already present. Put takes ownership
+// of item.Data without copying (see Item); the caller must not mutate the
+// slice afterwards.
 func (s *Store) Put(item Item) error {
 	size := int64(len(item.Data))
 	s.mu.Lock()
@@ -100,7 +111,6 @@ func (s *Store) Put(item Item) error {
 		return fmt.Errorf("%w: need %d, free %d", ErrNoSpace, size, s.capacity-s.used)
 	}
 	cp := item
-	cp.Data = append([]byte(nil), item.Data...)
 	s.files[item.Cert.FileID] = &cp
 	s.used += size
 	return nil

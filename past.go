@@ -21,6 +21,31 @@
 // The deeper layers live in internal packages (internal/pastry,
 // internal/past, internal/seccrypt, internal/simnet, ...); this package
 // re-exports the types a downstream application needs.
+//
+// # Performance
+//
+// Two hot-path invariants keep inserts and lookups cheap; both matter to
+// anyone embedding this package:
+//
+// Verification memoization. Signature checks are memoized process-wide
+// in a lock-striped LRU keyed by a SHA-256 digest of (public key,
+// signature, body), so the k replica holders of one insert — and every
+// retry, recovery transfer or cached copy of the same certificate —
+// perform the ed25519 scalar math once rather than k times. The memo
+// caches only the pure signature relation: expiry and ownership checks
+// re-run on every verification, and any mutation of a signed byte
+// changes the key and misses the cache, so a stale positive would
+// require a SHA-256 collision.
+//
+// Zero-copy replication. Message payloads and stored content share one
+// immutable backing array: a 4 KiB insert materializes one buffer, not
+// one per replica plus one per cache. The corresponding contract is the
+// wire package's "immutable after Send" rule extended to storage — byte
+// slices handed to Insert, and slices returned by Lookup, must not be
+// mutated afterwards. Re-inserting changed content under a new name (or
+// after Reclaim) is the supported way to change data; every node still
+// re-checks content hashes before serving, so a violated contract is
+// detected rather than silently propagated.
 package past
 
 import (

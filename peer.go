@@ -152,6 +152,12 @@ func (p *Peer) Reclaim(card *Smartcard, f FileID) (ReclaimResult, error) {
 // StoredFiles returns how many replicas this node currently stores.
 func (p *Peer) StoredFiles() int { return p.past.Store().Len() }
 
+// KnownPeers returns how many distinct nodes this peer holds in its leaf
+// set. Joins return before announce traffic has fully propagated, so
+// callers that need a converged membership view (tests, admission
+// checks) can poll this instead of sleeping.
+func (p *Peer) KnownPeers() int { return len(p.node.LeafMembers()) }
+
 // Close shuts the node down.
 func (p *Peer) Close() error {
 	p.node.Leave()
