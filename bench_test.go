@@ -1,5 +1,5 @@
 // Benchmarks regenerating every table and figure of the paper (E1–E13,
-// A1–A2; see DESIGN.md §3) plus microbenchmarks of the core operations.
+// A1–A2; see ARCHITECTURE.md) plus microbenchmarks of the core operations.
 //
 // Each BenchmarkE* runs the corresponding experiment at Small scale once
 // per iteration and reports its key number as a custom metric, so

@@ -48,6 +48,7 @@ type ExpResult struct {
 type Report struct {
 	GoVersion   string        `json:"go_version"`
 	GOMAXPROCS  int           `json:"gomaxprocs"`
+	Shards      int           `json:"shards"`
 	UnixTime    int64         `json:"unix_time"`
 	Benchmarks  []BenchResult `json:"benchmarks"`
 	Experiments []ExpResult   `json:"experiments"`
@@ -79,8 +80,15 @@ func record(name string, f func(b *testing.B)) BenchResult {
 
 func main() {
 	out := flag.String("out", "BENCH_1.json", "output JSON path")
-	expIDs := flag.String("experiments", "E1,E10", "comma-separated experiment ids to time (empty disables)")
+	expIDs := flag.String("experiments", "E1,E4,E10", "comma-separated experiment ids to time (empty disables)")
+	shards := flag.Int("shards", experiments.Shards,
+		"simulation shards for the phase experiments (byte-identical results; parallelism only)")
 	flag.Parse()
+	if *shards < 1 {
+		fmt.Fprintf(os.Stderr, "pastbench: -shards must be >= 1, got %d\n", *shards)
+		os.Exit(2)
+	}
+	experiments.Shards = *shards
 
 	// Validate experiment ids before spending minutes on benchmarks.
 	ids := splitComma(*expIDs)
@@ -98,6 +106,7 @@ func main() {
 	rep := Report{
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Shards:     experiments.Shards,
 		UnixTime:   time.Now().Unix(),
 	}
 

@@ -7,8 +7,8 @@
 //	pastsim -list                    # show the experiment index
 //
 // Output is plain text, one table per experiment, in the shape of the
-// corresponding figure/table in the paper (see DESIGN.md §3 and
-// EXPERIMENTS.md for the mapping and expected values).
+// corresponding figure/table in the paper (see ARCHITECTURE.md for the
+// experiment index and the paper-to-code mapping).
 package main
 
 import (
@@ -23,12 +23,19 @@ import (
 
 func main() {
 	var (
-		expFlag   = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
-		scaleFlag = flag.String("scale", "small", "small (seconds) or full (paper scale, minutes)")
-		seedFlag  = flag.Int64("seed", 42, "random seed; identical seeds reproduce identical tables")
-		listFlag  = flag.Bool("list", false, "list experiment ids and exit")
+		expFlag    = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+		scaleFlag  = flag.String("scale", "small", "small (seconds) or full (paper scale, minutes)")
+		seedFlag   = flag.Int64("seed", 42, "random seed; identical seeds reproduce identical tables")
+		shardsFlag = flag.Int("shards", experiments.Shards,
+			"simulation shards for the single-cluster phase experiments (E2-E5, E8, E9, E12-E14);\ntables are byte-identical for any value >= 1, so this only selects parallelism (default: core count)")
+		listFlag = flag.Bool("list", false, "list experiment ids and exit")
 	)
 	flag.Parse()
+	if *shardsFlag < 1 {
+		fmt.Fprintf(os.Stderr, "pastsim: -shards must be >= 1, got %d\n", *shardsFlag)
+		os.Exit(2)
+	}
+	experiments.Shards = *shardsFlag
 
 	if *listFlag {
 		for _, id := range experiments.IDs() {

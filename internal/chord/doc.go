@@ -1,0 +1,17 @@
+// Package chord implements a Chord-style routing baseline for comparison
+// with Pastry, as discussed in the paper's related-work section (section
+// 3): Chord "forwards messages based on numerical difference with the
+// destination address" and "makes no explicit effort to achieve good
+// network locality". Experiment E13 (internal/experiments) uses it as the
+// comparison DHT for hop counts and route-distance penalties.
+//
+// The implementation covers Chord's routing structure — an m-entry finger
+// table per node (finger[i] = successor(n + 2^i)) plus a successor — built
+// over the same simulated network and topology as the Pastry nodes, so
+// hop counts and proximity penalties are directly comparable. Ring
+// maintenance (stabilization) is not modelled; experiments construct the
+// ring from the known membership, which matches how the baseline numbers
+// in the DHT literature are produced. Routing is a pure computation over
+// that structure (no messages are exchanged), so the baseline adds
+// nothing to simulator load.
+package chord

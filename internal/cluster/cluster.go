@@ -1,7 +1,3 @@
-// Package cluster assembles simulated PAST networks: a topology, a
-// discrete-event network, and N Pastry nodes built by running the real
-// join protocol sequentially. Tests, benchmarks and the experiment harness
-// all build networks through this package so they exercise identical code.
 package cluster
 
 import (
@@ -39,6 +35,13 @@ type Options struct {
 	// NodeID, when non-nil, overrides the identifier for node i
 	// (PAST harnesses derive ids from smartcards).
 	NodeID func(i int) id.Node
+	// Shards, when positive, routes the build and every subsequent run
+	// through simnet's sharded conservative-window engine with this many
+	// shards: nodes are partitioned by transit domain and one simulation
+	// uses up to Shards cores. Results are byte-identical for any
+	// positive value, so Shards only selects parallelism. Zero keeps the
+	// legacy single-threaded engine.
+	Shards int
 }
 
 // Cluster is a built network.
@@ -73,6 +76,23 @@ func Build(opts Options) (*Cluster, error) {
 	}
 	netCfg := opts.Net
 	netCfg.Seed = opts.Seed + 1
+	if opts.Shards > 0 {
+		// Shard by transit domain: the topology's config bounds guarantee
+		// a latency floor between domains, which is exactly the lookahead
+		// the conservative scheduler needs — and it is placement- and
+		// shard-count-independent, so tables stay byte-identical at any
+		// shard count.
+		// More shards than transit domains would leave the extras
+		// permanently empty (shard = transit % Shards), so clamp.
+		netCfg.Shards = min(opts.Shards, opts.Topology.Transits)
+		netCfg.RegionOf = topo.Transit
+		netCfg.Lookahead = topo.LookaheadBound()
+		if netCfg.Lookahead <= 0 {
+			// Zero latency floors give the conservative scheduler no
+			// lookahead; report it here rather than panicking in simnet.
+			return nil, fmt.Errorf("cluster: sharding needs a positive inter-domain latency floor (TransitMin/UplinkMin/StubMin all zero?)")
+		}
+	}
 	net := simnet.New(netCfg, topo.Distance)
 
 	c := &Cluster{
@@ -100,7 +120,10 @@ func (c *Cluster) addNode(i int) error {
 	}
 	pcfg := c.Opts.Pastry
 	pcfg.Seed = c.Opts.Seed + int64(i)*7919
-	nd := pastry.New(pcfg, nid, ep, c.Net.Clock(), nil)
+	// Each node runs on its endpoint's clock so that, under the sharded
+	// engine, its timers fire on (and are keyed by) the shard that owns
+	// it. On the legacy engine ep.Clock() is the net clock.
+	nd := pastry.New(pcfg, nid, ep, ep.Clock(), nil)
 	var app pastry.App
 	if c.Opts.AppFactory != nil {
 		app = c.Opts.AppFactory(i, nd, ep)

@@ -1,0 +1,23 @@
+// Package cluster assembles simulated PAST networks: a topology, a
+// discrete-event network, and N Pastry nodes built by running the real
+// join protocol sequentially (the methodology the Pastry evaluation
+// assumes — each node arrives, locates a proximally nearby contact, and
+// joins before the next arrival). Tests, benchmarks and the experiment
+// harness all build networks through this package so they exercise
+// identical code.
+//
+// Besides construction, the package provides the experiment harness's
+// ground-truth oracle (NumericallyClosest/KClosest over live membership,
+// "the node whose nodeId is numerically closest ... among all live
+// nodes"), the failure model of section 2.2 (Crash/Restart, EnableProbes
+// for transport-level failure detection), and deterministic randomness
+// shared by a whole experiment run.
+//
+// Options.Shards routes a build — and every run on the resulting network
+// — through simnet's sharded conservative-window engine: nodes are
+// partitioned by transit domain, the topology's latency floor between
+// transit domains becomes the scheduler's lookahead, and each node runs
+// on its own endpoint's clock so its timers fire on its shard. Results
+// are byte-identical for any positive shard count; see
+// internal/simnet/shard.go for the argument.
+package cluster

@@ -5,8 +5,8 @@
 // corresponding figure or table in the paper. cmd/pastsim prints them;
 // the repository-root benchmarks run them at reduced scale.
 //
-// See DESIGN.md §3 for the experiment index and EXPERIMENTS.md for
-// paper-vs-measured results.
+// See ARCHITECTURE.md for the experiment index and the paper-to-code
+// mapping.
 package experiments
 
 import (

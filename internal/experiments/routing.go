@@ -62,7 +62,7 @@ func E2HopDistribution(scale Scale, seed int64) Result {
 	if scale == Full {
 		n, trials = 10000, 10000
 	}
-	c, recs := mustRoutingCluster(n, seed, nil)
+	c, recs := mustRoutingCluster(n, seed, sharded)
 	var h metrics.Hist
 	for t := 0; t < trials; t++ {
 		key := id.Rand(uint64(seed)<<32 + uint64(t))
@@ -93,7 +93,7 @@ func E3Locality(scale Scale, seed int64) Result {
 	if scale == Full {
 		n, trials = 5000, 2000
 	}
-	c, recs := mustRoutingCluster(n, seed, nil)
+	c, recs := mustRoutingCluster(n, seed, sharded)
 	var ratios, routeD, directD metrics.Summary
 	for t := 0; t < trials; t++ {
 		key := id.Rand(uint64(seed)<<32 + uint64(t))
@@ -136,7 +136,7 @@ func E4ReplicaProximity(scale Scale, seed int64) Result {
 	cfg := defaultPASTConfig()
 	cfg.K = 5
 	cfg.Caching = false // measure pure replica selection, not caches
-	pc := mustPAST(n, seed, cfg, nil, nil)
+	pc := mustPAST(n, seed, cfg, nil, sharded)
 	type stored struct {
 		f       id.File
 		holders []int
@@ -212,7 +212,7 @@ func E5FailureRouting(scale Scale, seed int64) Result {
 	if scale == Full {
 		n, trials = 5000, 1500
 	}
-	c, recs := mustRoutingCluster(n, seed, nil)
+	c, recs := mustRoutingCluster(n, seed, sharded)
 	phase := func(label string) (delivered int, hops metrics.Summary) {
 		for t := 0; t < trials; t++ {
 			key := id.Rand(uint64(seed)<<32 + uint64(t) + uint64(len(label))<<48)
@@ -301,7 +301,7 @@ func E7JoinCost(scale Scale, seed int64) Result {
 		c.Net.ResetCounters()
 		c.Topo.Place()
 		ep := c.Net.NewEndpoint()
-		nd := pastry.New(c.Opts.Pastry, id.Rand(uint64(seed)+0xbeef), ep, c.Net.Clock(), nil)
+		nd := pastry.New(c.Opts.Pastry, id.Rand(uint64(seed)+0xbeef), ep, ep.Clock(), nil)
 		done := false
 		nd.Join(simnet.Addr(0), func(error) { done = true })
 		c.Net.RunUntil(func() bool { return done }, 10_000_000)
@@ -415,7 +415,7 @@ func E13ChordComparison(scale Scale, seed int64) Result {
 	if scale == Full {
 		n, trials = 5000, 2000
 	}
-	c, recs := mustRoutingCluster(n, seed, nil)
+	c, recs := mustRoutingCluster(n, seed, sharded)
 	ids := make([]id.Node, n)
 	idxs := make([]int, n)
 	for i, nd := range c.Nodes {
@@ -521,7 +521,7 @@ func E14ReplicaDiversity(scale Scale, seed int64) Result {
 		n, files = 4000, 1000
 	}
 	k := 5
-	c, _ := mustRoutingCluster(n, seed, nil)
+	c, _ := mustRoutingCluster(n, seed, sharded)
 	var stubs, transits metrics.Summary
 	sameStubPairs, pairs := 0, 0
 	stubsPerTransit := c.Opts.Topology.StubsPerTransit

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// render flattens a result into the bytes a report would show: table plus
+// notes. Byte equality here is the acceptance bar for the sharded engine.
+func render(r Result) string {
+	var b strings.Builder
+	b.WriteString(r.Table.String())
+	for _, n := range r.Notes {
+		b.WriteString(n)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TestShardedDeterminismE4 asserts the tentpole guarantee end to end: a
+// phase experiment (E4, replica proximity — inserts, lookups, replica
+// ranking on one 256-node cluster) produces byte-identical tables at
+// shards=1, 2 and 4 for a fixed seed. Run under -race in CI, this also
+// proves the cross-shard handoff is properly synchronized.
+func TestShardedDeterminismE4(t *testing.T) {
+	defer func(old int) { Shards = old }(Shards)
+
+	var base string
+	for _, shards := range []int{1, 2, 4} {
+		Shards = shards
+		res, err := Run("E4", Small, 42)
+		if err != nil {
+			t.Fatalf("E4 at shards=%d: %v", shards, err)
+		}
+		got := render(res)
+		if shards == 1 {
+			base = got
+			continue
+		}
+		if got != base {
+			t.Fatalf("E4 tables diverge between shards=1 and shards=%d:\n--- shards=1:\n%s\n--- shards=%d:\n%s",
+				shards, base, shards, got)
+		}
+	}
+}
+
+// TestShardedDeterminismE12 covers a second phase experiment shape — the
+// quota walkthrough drives inserts, a reclaim and broker accounting
+// through the sharded engine — at a different cluster size.
+func TestShardedDeterminismE12(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	defer func(old int) { Shards = old }(Shards)
+
+	var base string
+	for _, shards := range []int{1, 3} {
+		Shards = shards
+		res, err := Run("E12", Small, 42)
+		if err != nil {
+			t.Fatalf("E12 at shards=%d: %v", shards, err)
+		}
+		got := render(res)
+		if shards == 1 {
+			base = got
+		} else if got != base {
+			t.Fatalf("E12 tables diverge between shards=1 and shards=%d:\n%s\nvs\n%s", shards, base, got)
+		}
+	}
+}

@@ -142,7 +142,7 @@ func E8Utilization(scale Scale, seed int64) Result {
 	cfg := defaultPASTConfig()
 	caps := workload.DefaultCapacities(seed+3, cfg.Capacity)
 	sizes := experimentSizes(seed+4, cfg.Capacity)
-	pc := mustPAST(n, seed, cfg, func(int) int64 { return caps.Draw() }, nil)
+	pc := mustPAST(n, seed, cfg, func(int) int64 { return caps.Draw() }, sharded)
 	run := driveToSaturation(pc, sizes, cfg.K, maxInserts, 15)
 
 	tbl := &metrics.Table{Header: []string{"utilization band", "attempts", "rejects", "reject rate"}}
@@ -195,7 +195,7 @@ func E9RejectionBias(scale Scale, seed int64) Result {
 	}
 	cfg := defaultPASTConfig()
 	sizes := experimentSizes(seed+4, cfg.Capacity)
-	pc := mustPAST(n, seed, cfg, nil, nil)
+	pc := mustPAST(n, seed, cfg, nil, sharded)
 	run := driveToSaturation(pc, sizes, cfg.K, maxInserts, 15)
 
 	tbl := &metrics.Table{Header: []string{"file size", "attempts", "rejects", "reject rate"}}
@@ -312,7 +312,7 @@ func E12Quota(scale Scale, seed int64) Result {
 		n = 64
 	}
 	cfg := defaultPASTConfig()
-	pc := mustPAST(n, seed, cfg, nil, nil)
+	pc := mustPAST(n, seed, cfg, nil, sharded)
 	user, err := pc.Broker.IssueCard(100<<10, 0, 0, seccrypt.DetRand(uint64(seed)+99))
 	if err != nil {
 		panic(err)

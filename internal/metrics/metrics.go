@@ -1,6 +1,3 @@
-// Package metrics provides the small statistics toolkit the experiment
-// harness uses: streaming summaries, integer histograms and percentile
-// extraction. Everything is deterministic and allocation-light.
 package metrics
 
 import (

@@ -85,14 +85,33 @@ type pendingOp struct {
 	auditCB   func(bool)
 }
 
+// stopTimer cancels and recycles the op's timeout. Every finished op
+// passes through here exactly once (its pending-map entry is deleted
+// first), so the handle has a single owner and Release is safe whether
+// the timer was cancelled or is the very timeout that fired us.
 func (op *pendingOp) stopTimer() {
 	if op.timer != nil {
 		op.timer.Stop()
+		op.timer.Release()
+		op.timer = nil
 	}
 }
 
 // newReqID derives a fresh request identifier.
 func (n *Node) newReqID() uint64 { return n.pn.Rand() }
+
+// armOp publishes a pending op and arms its timeout atomically: the timer
+// is assigned before the lock is released, so anyone who later finds the
+// op in the pending map (and so may win the race to delete it and call
+// stopTimer) is guaranteed to observe op.timer. The timeout callback
+// itself begins by taking the lock, so a real-time clock firing instantly
+// still waits for this critical section.
+func (n *Node) armOp(reqID uint64, op *pendingOp, onTimeout func()) {
+	n.mu.Lock()
+	n.pending[reqID] = op
+	op.timer = n.pn.Clock().AfterFunc(n.cfg.RequestTimeout, onTimeout)
+	n.mu.Unlock()
+}
 
 // ---------------------------------------------------------------------------
 // Insert
@@ -134,10 +153,7 @@ func (n *Node) startInsertAttempt(card *seccrypt.Smartcard, name string, data []
 		seen:     make(map[id.Node]bool),
 		insertCB: cb,
 	}
-	n.mu.Lock()
-	n.pending[reqID] = op
-	n.mu.Unlock()
-	op.timer = n.pn.Clock().AfterFunc(n.cfg.RequestTimeout, func() {
+	n.armOp(reqID, op, func() {
 		n.finishInsert(reqID, ErrTimeout)
 	})
 	n.pn.Route(cert.FileID.Key(), wire.InsertRequest{
@@ -247,15 +263,13 @@ func (n *Node) finishInsert(reqID uint64, cause error) {
 func (n *Node) Lookup(fileID id.File, cb func(LookupResult)) {
 	reqID := n.newReqID()
 	op := &pendingOp{kind: opLookup, fileID: fileID, lookupCB: cb}
-	n.mu.Lock()
-	n.pending[reqID] = op
-	n.mu.Unlock()
-	op.timer = n.pn.Clock().AfterFunc(n.cfg.RequestTimeout, func() {
+	n.armOp(reqID, op, func() {
 		n.mu.Lock()
 		still := n.pending[reqID]
 		delete(n.pending, reqID)
 		n.mu.Unlock()
 		if still != nil {
+			still.stopTimer() // fired: Stop is a no-op, Release recycles
 			cb(LookupResult{Err: ErrTimeout})
 		}
 	})
@@ -326,10 +340,7 @@ func (n *Node) Reclaim(card *seccrypt.Smartcard, fileID id.File, cb func(Reclaim
 	}
 	reqID := n.newReqID()
 	op := &pendingOp{kind: opReclaim, fileID: fileID, card: card, reclaimCB: cb}
-	n.mu.Lock()
-	n.pending[reqID] = op
-	n.mu.Unlock()
-	op.timer = n.pn.Clock().AfterFunc(n.cfg.RequestTimeout, func() {
+	n.armOp(reqID, op, func() {
 		n.mu.Lock()
 		still := n.pending[reqID]
 		delete(n.pending, reqID)
@@ -337,6 +348,7 @@ func (n *Node) Reclaim(card *seccrypt.Smartcard, fileID id.File, cb func(Reclaim
 		if still == nil {
 			return
 		}
+		still.stopTimer() // fired: Stop is a no-op, Release recycles
 		var freed int64
 		for _, r := range still.reclaimRcv {
 			freed += r.Freed
@@ -381,15 +393,13 @@ func (n *Node) AuditPeer(peer wire.NodeRef, fileID id.File, cb func(bool)) error
 	nonce := n.pn.Rand()
 	reqID := n.newReqID()
 	op := &pendingOp{kind: opAudit, auditWant: seccrypt.AuditProof(nonce, it.Data), auditCB: cb}
-	n.mu.Lock()
-	n.pending[reqID] = op
-	n.mu.Unlock()
-	op.timer = n.pn.Clock().AfterFunc(n.cfg.RequestTimeout, func() {
+	n.armOp(reqID, op, func() {
 		n.mu.Lock()
 		still := n.pending[reqID]
 		delete(n.pending, reqID)
 		n.mu.Unlock()
 		if still != nil {
+			still.stopTimer() // fired: Stop is a no-op, Release recycles
 			cb(false)
 		}
 	})

@@ -233,6 +233,10 @@ func (n *Node) joinTimedOut() {
 	done := n.joinDone
 	n.joinDone = nil
 	joined := n.joined
+	if n.joinTimer != nil {
+		n.joinTimer.Release() // fired; recycle the handle
+		n.joinTimer = nil
+	}
 	n.mu.Unlock()
 	if done != nil && !joined {
 		done(ErrJoinTimeout)
@@ -746,6 +750,7 @@ func (n *Node) completeJoinLocked() []func() {
 	n.joined = true
 	if n.joinTimer != nil {
 		n.joinTimer.Stop()
+		n.joinTimer.Release()
 		n.joinTimer = nil
 	}
 	targets := make([]wire.NodeRef, 0, len(n.joinSeen))
@@ -816,6 +821,9 @@ func (n *Node) keepAliveTick() {
 	var acts []func()
 	for _, d := range dead {
 		acts = append(acts, n.declareDeadLocked(d)...)
+	}
+	if n.kaTimer != nil {
+		n.kaTimer.Release() // this tick's handle has fired; recycle it
 	}
 	n.kaTimer = n.clock.AfterFunc(n.cfg.KeepAlive, n.keepAliveTick)
 	n.mu.Unlock()
@@ -927,6 +935,7 @@ func (n *Node) Leave() {
 	n.joined = false
 	if n.kaTimer != nil {
 		n.kaTimer.Stop()
+		n.kaTimer.Release()
 		n.kaTimer = nil
 	}
 	n.mu.Unlock()

@@ -8,7 +8,7 @@
 // quota ledger whose exported API is exactly the narrow operation set the
 // paper assigns to the tamper-resistant card: issue file certificates
 // (debiting quota), issue reclaim certificates, verify receipts (crediting
-// quota), and report the node's contributed storage. See DESIGN.md §4 for
+// quota), and report the node's contributed storage. See ARCHITECTURE.md for
 // the substitution rationale.
 package seccrypt
 

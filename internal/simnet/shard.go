@@ -1,0 +1,268 @@
+package simnet
+
+// Conservative event-window scheduler (the "sharded engine").
+//
+// Endpoints are partitioned into shards by topological region. Each shard
+// owns an event heap, an event pool and a private clock, and is advanced
+// by one worker goroutine per window. The coordinator repeats:
+//
+//	minNext  := earliest pending event time across all shards
+//	horizon  := minNext + Lookahead
+//	run every shard in parallel over [its now, horizon)
+//	barrier; move cross-shard arrivals from inboxes into heaps
+//
+// Safety (no shard ever receives a message "in its past"): every event
+// processed in a window has at >= minNext, and a message between shards
+// crosses regions, so its latency is at least Lookahead; its arrival is
+// therefore >= minNext + Lookahead = horizon, i.e. in a later window.
+// Arrivals are parked in a mutex-guarded inbox during the window and
+// merged at the barrier.
+//
+// Determinism at any shard count: same-timestamp events are ordered by
+// (creating endpoint, per-endpoint counter) rather than global creation
+// order, and jitter/loss randomness comes from per-endpoint streams
+// rather than a shared one. An endpoint's outputs are then a function of
+// its own delivery history only. By induction over windows, each
+// endpoint's delivery history — and hence every counter, every table and
+// the window schedule itself (minNext is a cross-shard minimum) — is
+// identical whether the event population is processed by one heap or
+// split across N. The determinism test in internal/experiments asserts
+// this byte-for-byte at shards=1,2,4.
+
+import (
+	"math"
+	"sync"
+	"time"
+
+	"past/internal/wire"
+)
+
+// forever caps nothing: windows are bounded only by event supply.
+const forever = time.Duration(math.MaxInt64)
+
+// shard is one region's slice of the simulation: an event heap, pools,
+// counters and a private clock. All fields except the inbox are owned by
+// the single goroutine driving the shard (a worker during a window, the
+// coordinator between windows).
+type shard struct {
+	net        *Net
+	now        time.Duration
+	events     eventHeap
+	free       []*event    // recycled events
+	freeTimers []*simTimer // recycled timer handles (see simTimer.Release)
+
+	inboxMu sync.Mutex
+	inbox   []*event // cross-shard arrivals parked until the next barrier
+
+	msgCount  uint64
+	byKind    map[string]uint64
+	processed uint64 // events processed in the current window
+}
+
+// newEvent takes an event from the shard's free list (or allocates one).
+// The free list needs no locking: during a window only the shard's worker
+// allocates from it, between windows only the coordinator does.
+func (s *shard) newEvent(at time.Duration) *event {
+	if at < s.now {
+		at = s.now
+	}
+	var ev *event
+	if k := len(s.free); k > 0 {
+		ev = s.free[k-1]
+		s.free[k-1] = nil
+		s.free = s.free[:k-1]
+	} else {
+		ev = &event{}
+	}
+	ev.at = at
+	return ev
+}
+
+// release returns a processed or cancelled event to the free list. The
+// generation bump invalidates any simTimer still holding the event, so a
+// late Stop on a fired timer is a harmless no-op instead of cancelling
+// whatever the slot was recycled into.
+func (s *shard) release(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	ev.target = nil
+	ev.msg = nil
+	ev.from = ""
+	ev.cancelled = false
+	s.free = append(s.free, ev)
+}
+
+// newTimerHandle wraps a pending event in a (pooled) cancellation handle.
+func (s *shard) newTimerHandle(ev *event) *simTimer {
+	var t *simTimer
+	if k := len(s.freeTimers); k > 0 {
+		t = s.freeTimers[k-1]
+		s.freeTimers[k-1] = nil
+		s.freeTimers = s.freeTimers[:k-1]
+	} else {
+		t = &simTimer{}
+	}
+	t.s = s
+	t.ev = ev
+	t.gen = ev.gen
+	t.released = false
+	return t
+}
+
+// pushInbox parks a cross-shard arrival until the next barrier. It is the
+// only shard entry point that may be called from another shard's worker.
+func (s *shard) pushInbox(ev *event) {
+	s.inboxMu.Lock()
+	s.inbox = append(s.inbox, ev)
+	s.inboxMu.Unlock()
+}
+
+// flushInbox merges parked arrivals into the heap. Coordinator only.
+func (s *shard) flushInbox() {
+	s.inboxMu.Lock()
+	for i, ev := range s.inbox {
+		s.events.push(ev)
+		s.inbox[i] = nil
+	}
+	s.inbox = s.inbox[:0]
+	s.inboxMu.Unlock()
+}
+
+// deliver hands a message to its endpoint, honoring crash state and
+// counters.
+func (s *shard) deliver(target *Endpoint, from string, m wire.Msg) {
+	if !target.Up() || target.handler == nil {
+		return
+	}
+	s.msgCount++
+	s.byKind[m.Kind()]++
+	n := s.net
+	if n.TraceFn != nil {
+		if n.windowed && len(n.shards) > 1 {
+			n.traceMu.Lock()
+			n.TraceFn(s.now, from, target.addr, m)
+			n.traceMu.Unlock()
+		} else {
+			n.TraceFn(s.now, from, target.addr, m)
+		}
+	}
+	target.handler(from, m)
+}
+
+// exec executes one popped, live event: advances the shard clock and
+// dispatches to message delivery or the timer callback. The event is
+// released BEFORE its payload runs so that a stale Stop from inside the
+// callback is a no-op on the recycled slot (generation check). Both
+// engines — the legacy Step loop and the windowed runTo loop — execute
+// events only through here, so they cannot diverge.
+func (s *shard) exec(ev *event) {
+	s.now = ev.at
+	if ev.target != nil {
+		target, from, m := ev.target, ev.from, ev.msg
+		s.release(ev)
+		s.deliver(target, from, m)
+	} else {
+		fn := ev.fn
+		s.release(ev)
+		fn()
+	}
+}
+
+// runTo processes the shard's events with at < horizon (at <= horizon
+// when inclusive), leaving the shard clock at the horizon. Inclusive
+// windows exist only when a RunFor deadline cuts a window short; the cap
+// guarantees cross-shard arrivals land strictly after the deadline, so
+// inclusivity cannot reorder them (see windowStep).
+func (s *shard) runTo(horizon time.Duration, inclusive bool) {
+	s.processed = 0
+	for s.events.Len() > 0 {
+		next := s.events.peek()
+		if next.at > horizon || (!inclusive && next.at == horizon) {
+			break
+		}
+		ev := s.events.pop()
+		if ev.cancelled {
+			s.release(ev)
+			continue
+		}
+		s.exec(ev)
+		s.processed++
+	}
+	s.now = horizon
+}
+
+// minNextEvent returns the earliest pending event time across all shards.
+func (n *Net) minNextEvent() (time.Duration, bool) {
+	mn, ok := forever, false
+	for _, s := range n.shards {
+		if s.events.Len() > 0 {
+			if at := s.events.peek().at; !ok || at < mn {
+				mn, ok = at, true
+			}
+		}
+	}
+	return mn, ok
+}
+
+// advanceAll moves every shard clock (and the global clock) forward to t,
+// e.g. to a RunFor deadline beyond the last event.
+func (n *Net) advanceAll(t time.Duration) {
+	for _, s := range n.shards {
+		if s.now < t {
+			s.now = t
+		}
+	}
+	if n.now < t {
+		n.now = t
+	}
+}
+
+// windowStep runs one conservative window, bounded by limit (a RunFor
+// deadline, or forever). It reports the number of events processed and
+// whether there was anything at all to do before the limit.
+func (n *Net) windowStep(limit time.Duration) (processed uint64, more bool) {
+	mn, ok := n.minNextEvent()
+	if !ok || mn > limit {
+		return 0, false
+	}
+	horizon := mn + n.cfg.Lookahead
+	inclusive := false
+	if horizon < mn || horizon > limit { // "< mn" guards addition overflow
+		horizon = limit
+		inclusive = true
+	}
+	// A shard with nothing scheduled this window needs no worker: it can
+	// only receive inbox pushes, which are merged at the barrier anyway.
+	busy := n.busyScratch[:0]
+	for _, s := range n.shards {
+		if s.events.Len() > 0 && (s.events.peek().at < horizon || (inclusive && s.events.peek().at == horizon)) {
+			busy = append(busy, s)
+		} else {
+			s.processed = 0
+			s.now = horizon
+		}
+	}
+	n.running = true
+	if len(busy) == 1 {
+		busy[0].runTo(horizon, inclusive)
+	} else {
+		var wg sync.WaitGroup
+		wg.Add(len(busy) - 1)
+		for _, s := range busy[1:] {
+			go func(s *shard) {
+				defer wg.Done()
+				s.runTo(horizon, inclusive)
+			}(s)
+		}
+		busy[0].runTo(horizon, inclusive)
+		wg.Wait()
+	}
+	n.running = false
+	n.busyScratch = busy[:0]
+	for _, s := range n.shards {
+		s.flushInbox()
+		processed += s.processed
+	}
+	n.now = horizon
+	return processed, true
+}

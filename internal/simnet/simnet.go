@@ -1,22 +1,38 @@
 // Package simnet is a deterministic discrete-event network simulator.
 //
-// A Net owns a virtual clock and an event heap. Each simulated node gets an
-// endpoint implementing transport.Transport; message latency between
-// endpoints comes from a topology proximity metric. Fault injection covers
-// silent node crashes, message loss, per-node drop filters (for the
-// malicious-node experiment of section 2.2, "Fault-tolerance") and
-// partition-style unreachability.
+// A Net owns a virtual clock and one or more event-loop shards. Each
+// simulated node gets an endpoint implementing transport.Transport;
+// message latency between endpoints comes from a topology proximity
+// metric. Fault injection covers silent node crashes, message loss,
+// per-node drop filters (for the malicious-node experiment of section
+// 2.2, "Fault-tolerance") and partition-style unreachability.
 //
-// The simulator is single-threaded: all handlers and timer callbacks run on
-// the goroutine that calls Run/RunFor/RunUntilIdle, in timestamp order with
-// a deterministic tiebreak, so every experiment is exactly reproducible
-// from its seed.
+// The simulator has two execution engines selected by Config.Shards:
+//
+//   - Legacy engine (Shards == 0): strictly single-threaded. All handlers
+//     and timer callbacks run on the goroutine that calls
+//     Run/RunFor/RunUntilIdle, in timestamp order with a global
+//     creation-order tiebreak. This is the engine the microbenchmarks and
+//     the grid experiments use; its event ordering is bit-compatible with
+//     earlier versions of this package.
+//
+//   - Sharded engine (Shards >= 1): endpoints are partitioned into
+//     per-region shards (Config.RegionOf) and driven by a conservative
+//     event-window scheduler (see shard.go). One large simulation then
+//     uses all cores, and — because event ordering, tiebreaks and
+//     randomness are all derived per endpoint rather than from global
+//     scheduling order — a run is byte-identical for a fixed seed at ANY
+//     shard count, including Shards == 1.
+//
+// Under both engines every experiment is exactly reproducible from its
+// seed.
 package simnet
 
 import (
 	"fmt"
 	"math/rand"
 	"strconv"
+	"sync"
 	"time"
 
 	"past/internal/transport"
@@ -33,6 +49,25 @@ type Config struct {
 	JitterFrac float64
 	// MinLatency is a floor on delivery latency (e.g. local processing).
 	MinLatency time.Duration
+
+	// Shards selects the sharded conservative-window engine and its shard
+	// count. Zero selects the legacy single-threaded engine. Results under
+	// the sharded engine are byte-identical for any Shards >= 1, so the
+	// value only chooses how many cores one simulation may use.
+	Shards int
+	// RegionOf maps an endpoint index to its topological region (for
+	// cluster networks, the transit domain). Endpoints are assigned to
+	// shard RegionOf(i) % Shards, so endpoints in different shards are
+	// always in different regions. Nil places every endpoint in region 0
+	// (a single populated shard). Only consulted when Shards >= 1, at
+	// NewEndpoint time.
+	RegionOf func(i int) int
+	// Lookahead is a strictly positive lower bound on the delivery latency
+	// between any two endpoints in different regions; it bounds the
+	// conservative event window (see shard.go). Required when Shards >= 1.
+	// It must be derived from shard-count-independent data (e.g. topology
+	// latency bounds) or determinism across shard counts is lost.
+	Lookahead time.Duration
 }
 
 // Distance tells the simulator the proximity between two endpoints,
@@ -41,17 +76,23 @@ type Distance func(a, b int) float64
 
 // Net is a simulated network.
 type Net struct {
-	cfg      Config
-	rng      *rand.Rand
-	now      time.Duration
-	events   eventHeap
-	free     []*event // recycled events (see newEvent/release)
-	seq      uint64
-	eps      []*Endpoint
-	dist     Distance
-	msgCount uint64
-	byKind   map[string]uint64
-	// TraceFn, if set, observes every delivered message.
+	cfg    Config
+	rng    *rand.Rand // legacy engine's shared jitter/loss stream
+	now    time.Duration
+	netSeq uint64 // sequence counter for source-0 (net-level) events
+	shards []*shard
+	// busyScratch is windowStep's reusable list of shards with work in the
+	// current window (coordinator-only).
+	busyScratch []*shard
+	windowed    bool
+	running     bool // a conservative window is executing on shard workers
+	eps         []*Endpoint
+	dist        Distance
+	traceMu     sync.Mutex
+	// TraceFn, if set, observes every delivered message. Under the sharded
+	// engine with more than one shard, calls are serialized by a mutex but
+	// their interleaving ACROSS shards depends on scheduling; per-endpoint
+	// observation order is still deterministic.
 	TraceFn func(at time.Duration, from, to string, m wire.Msg)
 }
 
@@ -60,12 +101,24 @@ func New(cfg Config, dist Distance) *Net {
 	if dist == nil {
 		dist = func(a, b int) float64 { return 1 }
 	}
-	return &Net{
-		cfg:    cfg,
-		rng:    rand.New(rand.NewSource(cfg.Seed)),
-		dist:   dist,
-		byKind: make(map[string]uint64),
+	n := &Net{
+		cfg:      cfg,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		dist:     dist,
+		windowed: cfg.Shards >= 1,
 	}
+	nShards := 1
+	if n.windowed {
+		if cfg.Lookahead <= 0 {
+			panic("simnet: sharded engine requires Config.Lookahead > 0")
+		}
+		nShards = cfg.Shards
+	}
+	n.shards = make([]*shard, nShards)
+	for i := range n.shards {
+		n.shards[i] = &shard{net: n, byKind: make(map[string]uint64)}
+	}
+	return n
 }
 
 // Addr formats the simulator address of endpoint index i.
@@ -87,9 +140,15 @@ func Index(addr string) (int, error) {
 
 // NewEndpoint creates the next endpoint. Endpoints are identified by dense
 // indices that must correspond to the node indices used by the Distance
-// function.
+// function. Under the sharded engine the endpoint's region — and through
+// it, its shard — is fixed here, so RegionOf must already know index i.
 func (n *Net) NewEndpoint() *Endpoint {
-	ep := &Endpoint{net: n, idx: len(n.eps), addr: Addr(len(n.eps)), up: true}
+	idx := len(n.eps)
+	s := n.shards[0]
+	if n.windowed && n.cfg.RegionOf != nil {
+		s = n.shards[n.cfg.RegionOf(idx)%len(n.shards)]
+	}
+	ep := &Endpoint{net: n, shard: s, idx: idx, addr: Addr(idx), up: true}
 	n.eps = append(n.eps, ep)
 	return ep
 }
@@ -100,86 +159,79 @@ func (n *Net) Endpoint(i int) *Endpoint { return n.eps[i] }
 // NumEndpoints returns the number of endpoints created so far.
 func (n *Net) NumEndpoints() int { return len(n.eps) }
 
-// Now returns the current virtual time.
+// Now returns the current virtual time. Under the sharded engine this is
+// the time of the last window barrier; per-endpoint clocks may be ahead
+// of it while a window executes.
 func (n *Net) Now() time.Duration { return n.now }
 
 // Messages returns the total number of messages delivered so far.
-func (n *Net) Messages() uint64 { return n.msgCount }
+func (n *Net) Messages() uint64 {
+	var total uint64
+	for _, s := range n.shards {
+		total += s.msgCount
+	}
+	return total
+}
 
 // MessagesByKind returns a copy of the per-kind delivery counters.
 func (n *Net) MessagesByKind() map[string]uint64 {
-	out := make(map[string]uint64, len(n.byKind))
-	for k, v := range n.byKind {
-		out[k] = v
+	out := make(map[string]uint64)
+	for _, s := range n.shards {
+		for k, v := range s.byKind {
+			out[k] += v
+		}
 	}
 	return out
 }
 
 // ResetCounters zeroes the message counters (topology and time are kept).
 func (n *Net) ResetCounters() {
-	n.msgCount = 0
-	n.byKind = make(map[string]uint64)
-}
-
-// newEvent takes an event from the per-Net free list (or allocates one)
-// and stamps it with the next sequence number. The free list is safe
-// without locking because each Net is single-threaded by contract.
-func (n *Net) newEvent(at time.Duration) *event {
-	if at < n.now {
-		at = n.now
+	for _, s := range n.shards {
+		s.msgCount = 0
+		s.byKind = make(map[string]uint64)
 	}
-	var ev *event
-	if k := len(n.free); k > 0 {
-		ev = n.free[k-1]
-		n.free[k-1] = nil
-		n.free = n.free[:k-1]
-	} else {
-		ev = &event{}
+}
+
+// stamp keys a freshly allocated event with its ordering tiebreak. The
+// legacy engine orders same-time events by global creation order; the
+// sharded engine keys them by (creating endpoint, per-endpoint counter)
+// so the order is independent of which shard — and therefore which
+// schedule — created them.
+func (n *Net) stampNetLevel(ev *event) {
+	ev.src = 0
+	ev.seq = n.netSeq
+	n.netSeq++
+}
+
+func (e *Endpoint) stamp(ev *event) {
+	if e.net.windowed {
+		ev.src = int32(e.idx) + 1
+		ev.seq = e.seq
+		e.seq++
+		return
 	}
-	ev.at = at
-	ev.seq = n.seq
-	n.seq++
-	return ev
+	e.net.stampNetLevel(ev)
 }
 
-// release returns a processed or cancelled event to the free list. The
-// generation bump invalidates any simTimer still holding the event, so a
-// late Stop on a fired timer is a harmless no-op instead of cancelling
-// whatever the slot was recycled into.
-func (n *Net) release(ev *event) {
-	ev.gen++
-	ev.fn = nil
-	ev.target = nil
-	ev.msg = nil
-	ev.from = ""
-	ev.cancelled = false
-	n.free = append(n.free, ev)
-}
-
-// schedule enqueues fn at absolute virtual time at.
-func (n *Net) schedule(at time.Duration, fn func()) *event {
-	ev := n.newEvent(at)
-	ev.fn = fn
-	n.events.push(ev)
-	return ev
-}
-
-// scheduleMsg enqueues a message delivery without allocating a closure.
-func (n *Net) scheduleMsg(at time.Duration, target *Endpoint, from string, m wire.Msg) {
-	ev := n.newEvent(at)
-	ev.target = target
-	ev.from = from
-	ev.msg = m
-	n.events.push(ev)
-}
-
-// AfterFunc implements clock scheduling on the virtual timeline.
+// AfterFunc implements clock scheduling on the virtual timeline at net
+// level (source 0, shard 0). Under the sharded engine it must only be
+// called between runs (from the coordinating goroutine); node code should
+// use its endpoint's Clock instead.
 func (n *Net) AfterFunc(d time.Duration, f func()) transport.Timer {
-	ev := n.schedule(n.now+d, f)
-	return &simTimer{ev: ev, gen: ev.gen}
+	s := n.shards[0]
+	at := n.now + d
+	if n.windowed {
+		at = s.now + d
+	}
+	ev := s.newEvent(at)
+	n.stampNetLevel(ev)
+	ev.fn = f
+	s.events.push(ev)
+	return s.newTimerHandle(ev)
 }
 
-// Clock returns the simulation's virtual clock.
+// Clock returns a net-level virtual clock (see AfterFunc for its sharded
+// caveat).
 func (n *Net) Clock() transport.Clock { return simClock{n} }
 
 type simClock struct{ n *Net }
@@ -189,64 +241,65 @@ func (c simClock) AfterFunc(d time.Duration, f func()) transport.Timer {
 	return c.n.AfterFunc(d, f)
 }
 
-// simTimer is a handle onto a pooled event. The generation snapshot keeps
-// Stop safe after the event has fired and been recycled.
+// simTimer is a pooled handle onto a pooled event. The generation
+// snapshot keeps Stop safe after the event has fired and been recycled;
+// Release returns the handle itself to its shard's pool.
 type simTimer struct {
-	ev  *event
-	gen uint64
+	s        *shard
+	ev       *event
+	gen      uint64
+	released bool
 }
 
 func (t *simTimer) Stop() bool {
 	// A fired event was released, bumping gen, so the first check also
 	// covers "already fired".
-	if t.ev.gen != t.gen || t.ev.cancelled {
+	if t.ev == nil || t.ev.gen != t.gen || t.ev.cancelled {
 		return false
 	}
 	t.ev.cancelled = true
 	return true
 }
 
-// Step executes the next pending event. It reports false when the queue is
-// empty.
+// Release returns the handle to its shard's pool for reuse by a later
+// AfterFunc, the way processed events return to the event pool. It does
+// NOT cancel a still-pending timer. After Release the handle must not be
+// touched again; Release must only be called from the owning node's
+// handlers or between runs.
+func (t *simTimer) Release() {
+	if t.released {
+		return
+	}
+	t.released = true
+	t.ev = nil
+	t.s.freeTimers = append(t.s.freeTimers, t)
+}
+
+// Step executes the next pending event (legacy engine) or the next
+// conservative window (sharded engine). It reports false when the queue
+// is empty.
 func (n *Net) Step() bool {
-	for n.events.Len() > 0 {
-		ev := n.events.pop()
+	if n.windowed {
+		_, more := n.windowStep(forever)
+		return more
+	}
+	s := n.shards[0]
+	for s.events.Len() > 0 {
+		ev := s.events.pop()
 		if ev.cancelled {
-			n.release(ev)
+			s.release(ev)
 			continue
 		}
 		n.now = ev.at
-		if ev.target != nil {
-			target, from, m := ev.target, ev.from, ev.msg
-			n.release(ev)
-			n.deliver(target, from, m)
-		} else {
-			fn := ev.fn
-			n.release(ev)
-			fn()
-		}
+		s.exec(ev)
 		return true
 	}
 	return false
 }
 
-// deliver hands a message to its endpoint, honoring crash state and
-// counters. This is the former Send closure, un-closured so message
-// events need no per-message allocation beyond the pooled event.
-func (n *Net) deliver(target *Endpoint, from string, m wire.Msg) {
-	if !target.Up() || target.handler == nil {
-		return
-	}
-	n.msgCount++
-	n.byKind[m.Kind()]++
-	if n.TraceFn != nil {
-		n.TraceFn(n.now, from, target.Addr(), m)
-	}
-	target.handler(from, m)
-}
-
 // RunUntilIdle processes events until none remain. Protocols with periodic
-// timers never go idle; use RunFor for those.
+// timers never go idle; use RunFor for those. Step dispatches to the
+// engine in use, so this drains legacy and sharded nets alike.
 func (n *Net) RunUntilIdle() {
 	for n.Step() {
 	}
@@ -256,10 +309,20 @@ func (n *Net) RunUntilIdle() {
 // scheduled at later times remain queued.
 func (n *Net) RunFor(d time.Duration) {
 	deadline := n.now + d
-	for n.events.Len() > 0 {
-		next := n.events.peek()
+	if n.windowed {
+		for {
+			if _, more := n.windowStep(deadline); !more {
+				break
+			}
+		}
+		n.advanceAll(deadline)
+		return
+	}
+	s := n.shards[0]
+	for s.events.Len() > 0 {
+		next := s.events.peek()
 		if next.cancelled {
-			n.release(n.events.pop())
+			s.release(s.events.pop())
 			continue
 		}
 		if next.at > deadline {
@@ -268,11 +331,31 @@ func (n *Net) RunFor(d time.Duration) {
 		n.Step()
 	}
 	n.now = deadline
+	s.now = deadline
 }
 
 // RunUntil processes events while cond stays false, up to a safety cap of
-// maxEvents. It reports whether cond became true.
+// maxEvents. It reports whether cond became true. Under the sharded
+// engine cond is evaluated at window barriers (where all shards are
+// quiescent), so the points at which it can stop — like everything else —
+// are independent of the shard count.
 func (n *Net) RunUntil(cond func() bool, maxEvents int) bool {
+	if n.windowed {
+		if cond() {
+			return true
+		}
+		var total uint64
+		for {
+			processed, more := n.windowStep(forever)
+			total += processed
+			if cond() {
+				return true
+			}
+			if !more || total >= uint64(maxEvents) {
+				return cond()
+			}
+		}
+	}
 	for i := 0; i < maxEvents; i++ {
 		if cond() {
 			return true
@@ -284,12 +367,13 @@ func (n *Net) RunUntil(cond func() bool, maxEvents int) bool {
 	return cond()
 }
 
-// Latency returns the (jittered) delivery latency between endpoints.
-func (n *Net) latency(a, b int) time.Duration {
+// Latency returns the (jittered) delivery latency between endpoints,
+// drawing jitter from the given stream.
+func (n *Net) latency(a, b int, rng *rand.Rand) time.Duration {
 	ms := n.dist(a, b)
 	d := time.Duration(ms * float64(time.Millisecond))
 	if n.cfg.JitterFrac > 0 {
-		d = time.Duration(float64(d) * (1 + n.rng.Float64()*n.cfg.JitterFrac))
+		d = time.Duration(float64(d) * (1 + rng.Float64()*n.cfg.JitterFrac))
 	}
 	if d < n.cfg.MinLatency {
 		d = n.cfg.MinLatency
@@ -308,6 +392,7 @@ type DropFilter func(to string, m wire.Msg) bool
 // Endpoint implements transport.Transport inside a Net.
 type Endpoint struct {
 	net     *Net
+	shard   *shard
 	idx     int
 	addr    string // precomputed Addr(idx); avoids formatting per Send
 	handler transport.Handler
@@ -315,6 +400,12 @@ type Endpoint struct {
 	closed  bool
 	// sendFilter, if set, can suppress outbound messages.
 	sendFilter DropFilter
+	// seq counts events created by this endpoint (sharded engine ordering
+	// key); rng is its private jitter/loss stream, created on first use.
+	// Both make the endpoint's observable behaviour a function of its own
+	// delivery history only, never of cross-shard scheduling.
+	seq uint64
+	rng *rand.Rand
 }
 
 // Addr implements transport.Transport.
@@ -340,6 +431,44 @@ func (e *Endpoint) Crash() { e.up = false }
 // Restart brings a crashed node back.
 func (e *Endpoint) Restart() { e.up = true }
 
+// nowLocal is the virtual time as this endpoint observes it: its shard's
+// clock under the sharded engine, the global clock under the legacy one.
+func (e *Endpoint) nowLocal() time.Duration {
+	if e.net.windowed {
+		return e.shard.now
+	}
+	return e.net.now
+}
+
+// rand returns the endpoint's private random stream (sharded engine).
+func (e *Endpoint) rand() *rand.Rand {
+	if e.rng == nil {
+		e.rng = rand.New(rand.NewSource(int64(uint64(e.net.cfg.Seed) ^ 0x9E3779B97F4A7C15*uint64(e.idx+1))))
+	}
+	return e.rng
+}
+
+// Clock returns a clock that schedules onto this endpoint's shard. Node
+// code built on a sharded Net must use its own endpoint's clock (package
+// cluster does); timers then fire on the shard that owns the node, and
+// their ordering keys come from the endpoint itself. On a legacy Net it
+// behaves exactly like the net-level Clock.
+func (e *Endpoint) Clock() transport.Clock { return epClock{e} }
+
+type epClock struct{ e *Endpoint }
+
+func (c epClock) Now() time.Duration { return c.e.nowLocal() }
+
+func (c epClock) AfterFunc(d time.Duration, f func()) transport.Timer {
+	e := c.e
+	s := e.shard
+	ev := s.newEvent(e.nowLocal() + d)
+	e.stamp(ev)
+	ev.fn = f
+	s.events.push(ev)
+	return s.newTimerHandle(ev)
+}
+
 // Send implements transport.Transport.
 func (e *Endpoint) Send(to string, m wire.Msg) error {
 	if e.closed {
@@ -359,10 +488,28 @@ func (e *Endpoint) Send(to string, m wire.Msg) error {
 		return fmt.Errorf("simnet: no endpoint at %q", to)
 	}
 	n := e.net
-	if n.cfg.DropProb > 0 && n.rng.Float64() < n.cfg.DropProb {
+	rng := n.rng
+	if n.windowed {
+		rng = e.rand()
+	}
+	if n.cfg.DropProb > 0 && rng.Float64() < n.cfg.DropProb {
 		return nil
 	}
-	n.scheduleMsg(n.now+n.latency(e.idx, dst), n.eps[dst], e.Addr(), m)
+	target := n.eps[dst]
+	// The event is drawn from the SENDER's shard pool (the shard running
+	// this handler owns that pool) and keyed by the sender, then routed to
+	// the TARGET's shard for delivery.
+	ev := e.shard.newEvent(e.nowLocal() + n.latency(e.idx, dst, rng))
+	e.stamp(ev)
+	ev.target = target
+	ev.from = e.addr
+	ev.msg = m
+	ts := target.shard
+	if ts == e.shard || !n.running {
+		ts.events.push(ev)
+	} else {
+		ts.pushInbox(ev)
+	}
 	return nil
 }
 
@@ -386,10 +533,14 @@ func (e *Endpoint) Close() error {
 // Event heap
 
 // event is one scheduled occurrence: either a timer callback (fn set) or
-// a message delivery (target set). Events are pooled per Net; gen counts
-// recycles so stale timer handles cannot cancel a reused slot.
+// a message delivery (target set). Events are pooled per shard; gen
+// counts recycles so stale timer handles cannot cancel a reused slot.
+// (src, seq) is the same-timestamp tiebreak: (0, global counter) under
+// the legacy engine, (creating endpoint + 1, per-endpoint counter) under
+// the sharded one.
 type event struct {
 	at        time.Duration
+	src       int32
 	seq       uint64
 	fn        func()    // timer events
 	target    *Endpoint // message events
@@ -399,10 +550,10 @@ type event struct {
 	gen       uint64
 }
 
-// eventHeap is a typed binary min-heap ordered by (at, seq). Replacing
-// the container/heap interface{} plumbing with direct methods removes
-// the per-operation interface conversions and method-value dispatch from
-// the simulator's innermost loop.
+// eventHeap is a typed binary min-heap ordered by (at, src, seq).
+// Replacing the container/heap interface{} plumbing with direct methods
+// removes the per-operation interface conversions and method-value
+// dispatch from the simulator's innermost loop.
 type eventHeap struct {
 	evs []*event
 }
@@ -414,6 +565,9 @@ func (h *eventHeap) peek() *event { return h.evs[0] }
 func eventLess(a, b *event) bool {
 	if a.at != b.at {
 		return a.at < b.at
+	}
+	if a.src != b.src {
+		return a.src < b.src
 	}
 	return a.seq < b.seq
 }

@@ -1,24 +1,9 @@
-// Package topology synthesizes an Internet-like network topology and
-// exposes a pairwise proximity metric over end nodes.
-//
-// The Pastry evaluation the PAST paper cites used GT-ITM transit-stub
-// graphs with shortest-path link distances. Computing all-pairs shortest
-// paths is infeasible at the 10^5-node scale this reproduction targets, so
-// this package substitutes a hierarchical metric with the same structure:
-// a small set of transit domains connected by a random symmetric distance
-// matrix, stub domains attached to transit routers, and end nodes attached
-// to stub routers. The distance between two end nodes composes
-//
-//	intra-stub hop + stub uplink + transit-to-transit + downlink + hop
-//
-// in O(1) per pair. Locality experiments depend only on the metric's
-// hierarchical clustering (nearby nodes share a stub, far nodes cross
-// transit domains), which this construction preserves. See DESIGN.md §4.
 package topology
 
 import (
 	"fmt"
 	"math/rand"
+	"time"
 )
 
 // Config controls topology generation. The zero value is not valid; use
@@ -136,6 +121,23 @@ func (t *Topology) PlaceAt(stub int) int {
 
 // Stub returns the stub domain of node i.
 func (t *Topology) Stub(i int) int { return t.nodeStub[i] }
+
+// Transit returns the transit domain of node i. The simulator's sharded
+// engine partitions nodes into shards by transit domain, because the
+// config bounds guarantee a latency floor between nodes in different
+// transit domains (see LookaheadBound).
+func (t *Topology) Transit(i int) int { return t.stubOf[t.nodeStub[i]] }
+
+// LookaheadBound returns a lower bound on the delivery latency between
+// any two end nodes in DIFFERENT transit domains, derived purely from the
+// config bounds: two intra-stub hops, two uplinks and one transit link at
+// their configured minimums. It depends only on the Config — never on
+// node placement — so it is identical at any shard count, which the
+// sharded engine's determinism guarantee requires.
+func (t *Topology) LookaheadBound() time.Duration {
+	ms := t.cfg.TransitMin + 2*t.cfg.UplinkMin + 2*t.cfg.StubMin
+	return time.Duration(ms * float64(time.Millisecond))
+}
 
 // Distance returns the proximity metric between end nodes a and b, in
 // milliseconds of one-way latency. Distance is symmetric, zero iff a == b,

@@ -38,6 +38,16 @@ type Timer interface {
 	// Stop cancels the timer; it reports whether the callback was still
 	// pending.
 	Stop() bool
+	// Release returns the handle to its owner's pool for reuse, without
+	// cancelling a still-pending callback. Callers that churn through
+	// timers (request timeouts, keep-alive ticks) should Release handles
+	// they are done with — after Stop, or from inside/after the fired
+	// callback — so simulated timers recycle their handles the way the
+	// simulator pools its events. A released handle must not be touched
+	// again, and Release must be called at most once per handle.
+	// Implementations for which pooling is meaningless treat it as a
+	// no-op, so calling it is always safe under the contract above.
+	Release()
 }
 
 // Clock abstracts time so protocol code runs identically under virtual
@@ -67,3 +77,6 @@ func (c *RealClock) AfterFunc(d time.Duration, f func()) Timer {
 type realTimer struct{ t *time.Timer }
 
 func (r realTimer) Stop() bool { return r.t.Stop() }
+
+// Release is a no-op: real timers are garbage collected.
+func (r realTimer) Release() {}

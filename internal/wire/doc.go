@@ -1,0 +1,22 @@
+// Package wire defines the message vocabulary exchanged between PAST
+// nodes: overlay routing envelopes (Routed, JoinRequest, Announce,
+// Heartbeat) and the PAST storage protocol (InsertRequest, StoreReceipt,
+// LookupRequest/Reply, ReclaimRequest/Receipt, replica transfer and
+// audit), mapping one-to-one onto the operations of sections 2.1-2.3 of
+// the paper.
+//
+// Messages are plain data structs. The same values travel in-process
+// inside the discrete-event simulator and as gob-encoded frames over the
+// TCP transport; RegisterAll installs the concrete types with
+// encoding/gob.
+//
+// # Immutable after Send
+//
+// By convention messages are immutable after Send: senders must not
+// retain and mutate slices they put into a message. The storage layer
+// extends the same rule to stored content — message payloads, replica
+// content, and cache entries all share one immutable backing array, which
+// is what makes replication zero-copy (see the package past doc comment).
+// Every node still re-checks content hashes before serving, so a violated
+// contract is detected rather than silently propagated.
+package wire

@@ -1,10 +1,3 @@
-// Package wire defines the message vocabulary exchanged between PAST nodes.
-//
-// Messages are plain data structs. The same values travel in-process inside
-// the discrete-event simulator and as gob-encoded frames over the TCP
-// transport; RegisterAll installs the concrete types with encoding/gob.
-// By convention messages are immutable after Send: senders must not retain
-// and mutate slices they put into a message.
 package wire
 
 import (

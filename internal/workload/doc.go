@@ -1,0 +1,18 @@
+// Package workload generates the synthetic file populations and request
+// streams driving the storage experiments (E8-E10, A2).
+//
+// The SOSP'01 companion evaluation used two proprietary traces: a web
+// proxy trace (NLANR) and a combined departmental filesystem. Neither is
+// available, so this package substitutes analytic distributions with the
+// same qualitative shape (see ARCHITECTURE.md, "Workloads"): file sizes
+// follow a lognormal body with a Pareto tail — many small files, a heavy
+// large-file tail — and file popularity follows a Zipf law, the standard
+// model for web object popularity. Per-node storage capacities draw from
+// a bounded lognormal, matching the paper's assumption that node
+// capacities differ by no more than two orders of magnitude. Parameters
+// are chosen so the size skew relative to node capacity matches the
+// regime the paper's utilization experiments explore.
+//
+// All draws come from explicitly seeded private streams, keeping every
+// experiment reproducible from its seed.
+package workload

@@ -1,15 +1,3 @@
-// Package workload generates the synthetic file populations and request
-// streams driving the storage experiments.
-//
-// The SOSP'01 companion evaluation used two proprietary traces: a web
-// proxy trace (NLANR) and a combined departmental filesystem. Neither is
-// available, so this package substitutes analytic distributions with the
-// same qualitative shape (see DESIGN.md §4): file sizes follow a lognormal
-// body with a Pareto tail — many small files, a heavy large-file tail —
-// and file popularity follows a Zipf law, the standard model for web
-// object popularity. Parameters are chosen so the size skew relative to
-// node capacity matches the regime the paper's utilization experiments
-// explore.
 package workload
 
 import (
