@@ -27,8 +27,12 @@ func main() {
 		scaleFlag  = flag.String("scale", "small", "small (seconds) or full (paper scale, minutes)")
 		seedFlag   = flag.Int64("seed", 42, "random seed; identical seeds reproduce identical tables")
 		shardsFlag = flag.Int("shards", experiments.Shards,
-			"simulation shards for the single-cluster phase experiments (E2-E5, E8, E9, E12-E14);\ntables are byte-identical for any value >= 1, so this only selects parallelism (default: core count)")
+			"simulation shards for the single-cluster phase experiments (E2-E5, E8, E9, E12-E17);\ntables are byte-identical for any value >= 1, so this only selects parallelism (default: core count)")
 		listFlag = flag.Bool("list", false, "list experiment ids and exit")
+
+		churnRate    = flag.Float64("churn-rate-scale", experiments.Churn.RateScale, "multiplier on the churn experiments' (E15-E17) node arrival rates")
+		churnSession = flag.Duration("churn-session", experiments.Churn.MedianSession, "median node session length for the churn experiments")
+		churnCrash   = flag.Float64("churn-crash-frac", experiments.Churn.CrashFrac, "fraction of churn departures that are silent crashes (the rest leave gracefully)")
 	)
 	flag.Parse()
 	if *shardsFlag < 1 {
@@ -36,6 +40,13 @@ func main() {
 		os.Exit(2)
 	}
 	experiments.Shards = *shardsFlag
+	if *churnRate < 0 || *churnCrash < 0 || *churnCrash > 1 || *churnSession <= 0 {
+		fmt.Fprintln(os.Stderr, "pastsim: churn flags must satisfy rate-scale >= 0, 0 <= crash-frac <= 1, session > 0")
+		os.Exit(2)
+	}
+	experiments.Churn.RateScale = *churnRate
+	experiments.Churn.MedianSession = *churnSession
+	experiments.Churn.CrashFrac = *churnCrash
 
 	if *listFlag {
 		for _, id := range experiments.IDs() {

@@ -1,0 +1,281 @@
+package churn_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"past/internal/churn"
+	"past/internal/cluster"
+	"past/internal/id"
+	"past/internal/past"
+	"past/internal/pastry"
+	"past/internal/seccrypt"
+	"past/internal/simnet"
+)
+
+func testConfig(initial int) churn.Config {
+	return churn.Config{
+		Seed:        7,
+		Initial:     initial,
+		ArrivalRate: 0.25,
+		Session:     churn.LognormalSessions(20 * time.Second),
+		CrashFrac:   0.5,
+		Horizon:     30 * time.Second,
+		MinLive:     initial / 2,
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := testConfig(24)
+	a := churn.Generate(cfg).String()
+	b := churn.Generate(cfg).String()
+	if a != b {
+		t.Fatal("same config produced different traces")
+	}
+	cfg.Seed++
+	if churn.Generate(cfg).String() == a {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	cfg := testConfig(32)
+	tr := churn.Generate(cfg)
+	if tr.Arrivals() == 0 || tr.Departures() == 0 {
+		t.Fatalf("degenerate trace: %d arrivals, %d departures", tr.Arrivals(), tr.Departures())
+	}
+	live := cfg.Initial
+	for i, ev := range tr.Events {
+		if ev.At >= cfg.Horizon {
+			t.Fatalf("event %d beyond horizon: %s", i, ev.At)
+		}
+		if i > 0 && ev.At < tr.Events[i-1].At {
+			t.Fatalf("events out of order at %d", i)
+		}
+		if ev.Kind == churn.Arrive {
+			live++
+		} else {
+			live--
+		}
+		if live < cfg.MinLive {
+			t.Fatalf("MinLive floor violated at event %d: live=%d", i, live)
+		}
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	tr := churn.Generate(testConfig(16))
+	text := "# replay header comment\n\n" + tr.String()
+	back, err := churn.Parse(text)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if back.String() != tr.String() {
+		t.Fatal("trace did not round-trip")
+	}
+	if _, err := churn.Parse("1s explode 3\n"); err == nil {
+		t.Fatal("bad kind accepted")
+	}
+	if _, err := churn.Parse("2s crash 1\n1s crash 0\n"); err == nil {
+		t.Fatal("out-of-order trace accepted")
+	}
+}
+
+func TestParetoSessionsHeavyTail(t *testing.T) {
+	cfg := testConfig(24)
+	cfg.Session = churn.ParetoSessions(5*time.Second, 1.2)
+	tr := churn.Generate(cfg)
+	if len(tr.Events) == 0 {
+		t.Fatal("empty trace")
+	}
+}
+
+// harness is a PAST cluster whose smartcards and storage nodes grow on
+// demand, so churn arrivals can join mid-run. It deliberately mirrors
+// churnPAST in internal/experiments/churnexp.go (same card-seed
+// derivation, same verification) rather than importing it, so this
+// package's tests cannot be skewed by experiment-harness changes — keep
+// the card derivation in the two in sync.
+type harness struct {
+	*cluster.Cluster
+	broker *seccrypt.Broker
+	cfg    past.Config
+	seed   int64
+	cards  []*seccrypt.Smartcard
+	pnodes []*past.Node
+}
+
+func (h *harness) card(i int) *seccrypt.Smartcard {
+	for len(h.cards) <= i {
+		j := len(h.cards)
+		c, err := h.broker.IssueCard(1<<50, h.cfg.Capacity, 0, seccrypt.DetRand(uint64(h.seed)<<20+uint64(j)+7))
+		if err != nil {
+			panic(err)
+		}
+		h.cards = append(h.cards, c)
+	}
+	return h.cards[i]
+}
+
+func buildHarness(t testing.TB, n int, seed int64, shards int) *harness {
+	t.Helper()
+	cfg := past.DefaultConfig()
+	cfg.K = 3
+	cfg.Capacity = 1 << 20
+	cfg.Caching = false
+	cfg.RequestTimeout = 5 * time.Second
+	broker, err := seccrypt.NewBroker(seccrypt.DetRand(uint64(seed) + 1))
+	if err != nil {
+		t.Fatalf("NewBroker: %v", err)
+	}
+	h := &harness{broker: broker, cfg: cfg, seed: seed}
+	pcfg := pastry.DefaultConfig()
+	pcfg.KeepAlive = 500 * time.Millisecond
+	pcfg.FailTimeout = 1500 * time.Millisecond
+	c, err := cluster.Build(cluster.Options{
+		N:      n,
+		Pastry: pcfg,
+		Seed:   seed,
+		Shards: shards,
+		NodeID: func(i int) id.Node { return h.card(i).NodeID() },
+		AppFactory: func(i int, nd *pastry.Node, ep *simnet.Endpoint) pastry.App {
+			for len(h.pnodes) <= i {
+				h.pnodes = append(h.pnodes, nil)
+			}
+			h.pnodes[i] = past.NewNode(cfg, nd, h.card(i), broker.PublicKey())
+			return h.pnodes[i]
+		},
+	})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	c.EnableProbes()
+	h.Cluster = c
+	return h
+}
+
+func (h *harness) insert(t testing.TB, node int, name string, data []byte) id.File {
+	t.Helper()
+	var res *past.InsertResult
+	h.pnodes[node].Insert(h.card(node), name, data, h.cfg.K, func(r past.InsertResult) { res = &r })
+	h.Net.RunUntil(func() bool { return res != nil }, 50_000_000)
+	if res == nil || res.Err != nil {
+		t.Fatalf("insert %s: %+v", name, res)
+	}
+	return res.FileID
+}
+
+// liveVerifiedCopies counts live nodes holding a content-verified copy.
+func (h *harness) liveVerifiedCopies(f id.File) int {
+	n := 0
+	for i, pn := range h.pnodes {
+		if pn == nil || h.Down(i) {
+			continue
+		}
+		it, err := pn.Store().Get(f)
+		if err != nil {
+			continue
+		}
+		if seccrypt.VerifyContent(&it.Cert, it.Data) == nil {
+			n++
+		}
+	}
+	return n
+}
+
+// TestChurnStorageInvariant is the churn determinism + persistence test:
+// it replays one generated trace (crashes, graceful leaves and mid-run
+// joins in sequence) over a PAST cluster at shards=1,2,4 and asserts
+// that (a) after the network settles, every surviving file has at least
+// k live, content-verified replicas, and (b) the full outcome — driver
+// stats and the per-file replica counts — is byte-identical at every
+// shard count. Run under -race in CI.
+func TestChurnStorageInvariant(t *testing.T) {
+	const n = 24
+	ccfg := churn.Config{
+		Seed:        11,
+		Initial:     n,
+		ArrivalRate: 0.3,
+		Session:     churn.LognormalSessions(15 * time.Second),
+		CrashFrac:   0.5,
+		Horizon:     25 * time.Second,
+		MinLive:     n - 6,
+	}
+	tr := churn.Generate(ccfg)
+	if tr.Arrivals() == 0 || tr.Departures() == 0 {
+		t.Fatalf("trace lacks churn: %d arrivals, %d departures", tr.Arrivals(), tr.Departures())
+	}
+
+	var base string
+	for _, shards := range []int{1, 2, 4} {
+		h := buildHarness(t, n, 42, shards)
+		var files []id.File
+		for i := 0; i < 10; i++ {
+			files = append(files, h.insert(t, i%n, fmt.Sprintf("churn-%d", i), make([]byte, 1024)))
+		}
+		d := churn.NewDriver(h.Cluster, tr)
+		d.MinLive = ccfg.MinLive
+		d.Advance(ccfg.Horizon)
+		// Settle: let failure detection, repair and anti-entropy finish.
+		h.RunSettle(15 * time.Second)
+
+		var b strings.Builder
+		fmt.Fprintf(&b, "stats=%+v live=%d\n", d.Stats, h.LiveCount())
+		for i, f := range files {
+			copies := h.liveVerifiedCopies(f)
+			if copies > 0 && copies < h.cfg.K {
+				t.Errorf("shards=%d: file %d has %d live verified copies, want >= %d", shards, i, copies, h.cfg.K)
+			}
+			if copies == 0 {
+				t.Logf("shards=%d: file %d lost (all holders departed before repair)", shards, i)
+			}
+			fmt.Fprintf(&b, "file %d: %d copies\n", i, copies)
+		}
+		got := b.String()
+		if shards == 1 {
+			base = got
+			if d.Stats.Crashes == 0 || d.Stats.Leaves == 0 || d.Stats.Arrivals == 0 {
+				t.Fatalf("trace exercised too little: %+v", d.Stats)
+			}
+			continue
+		}
+		if got != base {
+			t.Fatalf("churn outcome diverges between shards=1 and shards=%d:\n--- shards=1:\n%s--- shards=%d:\n%s",
+				shards, base, shards, got)
+		}
+	}
+}
+
+// TestDriverSkipsAndFloors replays a hand-written trace and checks the
+// driver's bookkeeping: double departures are skipped, the MinLive floor
+// holds, arrivals join live.
+func TestDriverSkipsAndFloors(t *testing.T) {
+	tr, err := churn.Parse(`
+# crash 0 twice (second is a no-op), an arrival, a leave, then a
+# departure blocked by the MinLive floor
+1s crash 0
+2s crash 0
+3s arrive 8
+4s leave 1
+5s crash 2
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := buildHarness(t, 8, 43, 0)
+	d := churn.NewDriver(h.Cluster, tr)
+	d.MinLive = 7
+	d.Advance(6 * time.Second)
+	if !d.Done() {
+		t.Fatal("driver did not finish the trace")
+	}
+	want := churn.Stats{Arrivals: 1, Crashes: 1, Leaves: 1, Skipped: 2}
+	if d.Stats != want {
+		t.Fatalf("stats = %+v, want %+v", d.Stats, want)
+	}
+	if h.LiveCount() != 7 {
+		t.Fatalf("LiveCount = %d, want 7", h.LiveCount())
+	}
+}

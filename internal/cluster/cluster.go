@@ -56,6 +56,8 @@ type Cluster struct {
 	rng    *rand.Rand
 	sorted []wire.NodeRef // all refs sorted by id, for oracle queries
 	down   map[int]bool
+	byID   map[id.Node]int // id -> cluster index, kept current across add/crash/leave
+	probes bool            // EnableProbes was called; install on nodes added later too
 }
 
 // Build constructs and joins an N-node network. It returns an error if any
@@ -101,6 +103,7 @@ func Build(opts Options) (*Cluster, error) {
 		Topo: topo,
 		rng:  rand.New(rand.NewSource(opts.Seed + 2)),
 		down: make(map[int]bool),
+		byID: make(map[id.Node]int, opts.N),
 	}
 	for i := 0; i < opts.N; i++ {
 		if err := c.addNode(i); err != nil {
@@ -132,6 +135,10 @@ func (c *Cluster) addNode(i int) error {
 	c.Nodes = append(c.Nodes, nd)
 	c.Eps = append(c.Eps, ep)
 	c.Apps = append(c.Apps, app)
+	c.byID[nid] = i
+	if c.probes {
+		c.installProbe(i)
+	}
 
 	if i == 0 {
 		nd.Bootstrap()
@@ -162,6 +169,48 @@ func (c *Cluster) addNode(i int) error {
 	return nil
 }
 
+// AddNode joins one brand-new node into a running cluster — the churn
+// engine's arrival path. The node is placed on the topology (and, under
+// the sharded engine, assigned to the shard owning its transit domain),
+// built through the same Options the cluster was built with, and joined
+// via a proximally nearby live node. AddNode must only be called from
+// the coordinating goroutine between simulation runs (as all Cluster
+// mutators must); it advances virtual time until the join completes and
+// a bounded settle slice has drained. It returns the new node's index.
+//
+// Options.NodeID and Options.AppFactory, when set, must accept indices
+// beyond the original Options.N.
+func (c *Cluster) AddNode() (int, error) {
+	i := len(c.Nodes)
+	if err := c.addNode(i); err != nil {
+		// The join did not complete (possible under heavy churn): take the
+		// half-joined node off the network so the oracle and the workload
+		// never see it.
+		if i < len(c.Nodes) {
+			c.Eps[i].Crash()
+			c.Nodes[i].Leave()
+			c.down[i] = true
+		}
+		c.rebuildOracle()
+		return -1, err
+	}
+	c.rebuildOracle()
+	return i, nil
+}
+
+// Leave removes node i gracefully: the node announces its departure to
+// its leaf set (so peers repair and re-replicate immediately), then its
+// endpoint goes down. Compare Crash, the paper's silent-failure path.
+func (c *Cluster) Leave(i int) {
+	if c.down[i] {
+		return
+	}
+	c.Nodes[i].Depart()
+	c.Eps[i].Crash()
+	c.down[i] = true
+	c.rebuildOracle()
+}
+
 // nearbyNode samples already-joined nodes and returns the proximally
 // closest, playing the role of the "nearby node A" the paper's join
 // protocol assumes a new node can locate.
@@ -184,6 +233,13 @@ func (c *Cluster) nearbyNode(joining int) int {
 		}
 	}
 	if best == -1 {
+		// Sampling only hit crashed nodes (likely under churn): fall back
+		// to the first live node rather than a dead bootstrap.
+		for cand := 0; cand < joining; cand++ {
+			if !c.down[cand] {
+				return cand
+			}
+		}
 		best = 0
 	}
 	return best
@@ -263,12 +319,12 @@ func (c *Cluster) KClosest(key id.Node, k int) []wire.NodeRef {
 	return out
 }
 
-// IndexByID maps a node id back to its cluster index.
+// IndexByID maps a node id back to its cluster index (crashed and
+// departed nodes included, like the slice scan it replaces). The lookup
+// is O(1): under churn every arrival and departure consults it.
 func (c *Cluster) IndexByID(n id.Node) int {
-	for i, nd := range c.Nodes {
-		if nd.ID() == n {
-			return i
-		}
+	if i, ok := c.byID[n]; ok {
+		return i
 	}
 	return -1
 }
@@ -304,19 +360,25 @@ func (c *Cluster) LiveCount() int { return len(c.sorted) }
 // EnableProbes installs transport-level reachability detection on every
 // node: forwarding to a crashed node fails immediately, and the sender
 // routes around it and repairs its state (as a TCP deployment would).
+// Nodes added later (AddNode) get a probe automatically.
 func (c *Cluster) EnableProbes() {
-	for i, nd := range c.Nodes {
+	c.probes = true
+	for i := range c.Nodes {
 		if c.down[i] {
 			continue
 		}
-		nd.SetProbe(func(addr string) bool {
-			idx, err := simnet.Index(addr)
-			if err != nil || idx >= len(c.Eps) {
-				return false
-			}
-			return c.Eps[idx].Up()
-		})
+		c.installProbe(i)
 	}
+}
+
+func (c *Cluster) installProbe(i int) {
+	c.Nodes[i].SetProbe(func(addr string) bool {
+		idx, err := simnet.Index(addr)
+		if err != nil || idx >= len(c.Eps) {
+			return false
+		}
+		return c.Eps[idx].Up()
+	})
 }
 
 // RandomLiveNode returns the index of a uniformly random live node.

@@ -124,3 +124,65 @@ func TestRecorderObservesDeliveries(t *testing.T) {
 		t.Fatalf("deliveries = %d, want 1", total)
 	}
 }
+
+func TestAddNodeMidRun(t *testing.T) {
+	c, err := Build(Options{N: 16, Pastry: pastry.DefaultConfig(), Seed: 9})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	i, err := c.AddNode()
+	if err != nil {
+		t.Fatalf("AddNode: %v", err)
+	}
+	if i != 16 {
+		t.Fatalf("new index = %d, want 16", i)
+	}
+	if !c.Nodes[i].Joined() {
+		t.Fatal("added node did not join")
+	}
+	if c.LiveCount() != 17 {
+		t.Fatalf("LiveCount = %d, want 17", c.LiveCount())
+	}
+	if got := c.IndexByID(c.Nodes[i].ID()); got != i {
+		t.Fatalf("IndexByID = %d, want %d", got, i)
+	}
+	// The oracle must include the new node immediately.
+	if c.NumericallyClosest(c.Nodes[i].ID()).ID != c.Nodes[i].ID() {
+		t.Fatal("oracle does not know the added node")
+	}
+}
+
+func TestGracefulLeaveRepairsPeers(t *testing.T) {
+	c, err := Build(Options{N: 16, Pastry: pastry.DefaultConfig(), Seed: 10})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	victim := 4
+	victimID := c.Nodes[victim].ID()
+	c.Leave(victim)
+	if !c.Down(victim) || c.LiveCount() != 15 {
+		t.Fatalf("Down=%v LiveCount=%d", c.Down(victim), c.LiveCount())
+	}
+	c.Leave(victim) // idempotent
+	if c.LiveCount() != 15 {
+		t.Fatal("double Leave changed live count")
+	}
+	// Departure announcements propagate without any failure-detection
+	// timeout: after the network drains, no live node keeps the departed
+	// node in its leaf set.
+	c.Net.RunUntilIdle()
+	for j, nd := range c.Nodes {
+		if c.Down(j) {
+			continue
+		}
+		for _, m := range nd.LeafMembers() {
+			if m.ID == victimID {
+				t.Fatalf("node %d still lists departed node in leaf set", j)
+			}
+		}
+	}
+	// Departed nodes still resolve by id (index bookkeeping is retained).
+	if got := c.IndexByID(victimID); got != victim {
+		t.Fatalf("IndexByID = %d, want %d", got, victim)
+	}
+}

@@ -1,0 +1,330 @@
+package experiments
+
+// Churn experiments E15-E17: the paper's "Persistence" claim (section
+// 2.1) exercised under continuous membership change. All three are
+// phase experiments on the sharded engine; the churn schedule itself
+// comes from internal/churn, whose traces are a pure function of their
+// seed, so tables stay byte-identical at any shard count.
+
+import (
+	"fmt"
+	"time"
+
+	"past/internal/churn"
+	"past/internal/cluster"
+	"past/internal/id"
+	"past/internal/metrics"
+	"past/internal/past"
+	"past/internal/pastry"
+	"past/internal/seccrypt"
+	"past/internal/simnet"
+)
+
+// ChurnKnobs are the shared parameters of the churn experiments,
+// exposed so cmd/pastsim can override them from the command line.
+// Changing them changes the tables (they are part of the scenario, like
+// the seed); the defaults are the canonical values the CI tables use.
+type ChurnKnobs struct {
+	// RateScale multiplies every experiment's arrival rates.
+	RateScale float64
+	// MedianSession is the median node session length (lognormal body).
+	MedianSession time.Duration
+	// CrashFrac is the fraction of departures that are silent crashes
+	// rather than graceful leaves.
+	CrashFrac float64
+}
+
+// ChurnDefaults is what CI and the recorded tables use.
+func ChurnDefaults() ChurnKnobs {
+	return ChurnKnobs{RateScale: 1, MedianSession: 15 * time.Second, CrashFrac: 0.5}
+}
+
+// Churn is the live knob set (see cmd/pastsim's -churn-* flags).
+var Churn = ChurnDefaults()
+
+// churnPASTConfig sizes PAST nodes for the churn experiments: small
+// files, failure detection fast enough that a Small-scale horizon sees
+// full repair cycles.
+func churnPASTConfig() past.Config {
+	cfg := defaultPASTConfig()
+	cfg.Caching = false // measure replica maintenance, not caches
+	cfg.RequestTimeout = 5 * time.Second
+	return cfg
+}
+
+// churnPastryConfig enables the keep-alive failure detector the churn
+// scenarios rely on.
+func churnPastryConfig() pastry.Config {
+	cfg := pastry.DefaultConfig()
+	cfg.KeepAlive = 500 * time.Millisecond
+	cfg.FailTimeout = 1500 * time.Millisecond
+	return cfg
+}
+
+// churnPAST is a PAST cluster whose smartcards and storage nodes grow on
+// demand so churn arrivals can join mid-run.
+type churnPAST struct {
+	*cluster.Cluster
+	Broker *seccrypt.Broker
+	cfg    past.Config
+	seed   int64
+	cards  []*seccrypt.Smartcard
+	nodes  []*past.Node
+}
+
+func (cp *churnPAST) card(i int) *seccrypt.Smartcard {
+	for len(cp.cards) <= i {
+		j := len(cp.cards)
+		c, err := cp.Broker.IssueCard(1<<50, cp.cfg.Capacity, 0, seccrypt.DetRand(uint64(cp.seed)<<20+uint64(j)+7))
+		if err != nil {
+			panic(err)
+		}
+		cp.cards = append(cp.cards, c)
+	}
+	return cp.cards[i]
+}
+
+// buildChurnPAST constructs an n-node PAST network ready for mid-run
+// membership changes (growable cards/apps, probes installed).
+func buildChurnPAST(n int, seed int64, cfg past.Config) *churnPAST {
+	broker, err := seccrypt.NewBroker(seccrypt.DetRand(uint64(seed) + 1))
+	if err != nil {
+		panic(err)
+	}
+	cp := &churnPAST{Broker: broker, cfg: cfg, seed: seed}
+	opts := cluster.Options{
+		N:      n,
+		Pastry: churnPastryConfig(),
+		Seed:   seed,
+		NodeID: func(i int) id.Node { return cp.card(i).NodeID() },
+		AppFactory: func(i int, nd *pastry.Node, ep *simnet.Endpoint) pastry.App {
+			for len(cp.nodes) <= i {
+				cp.nodes = append(cp.nodes, nil)
+			}
+			cp.nodes[i] = past.NewNode(cfg, nd, cp.card(i), broker.PublicKey())
+			return cp.nodes[i]
+		},
+	}
+	sharded(&opts)
+	c, err := cluster.Build(opts)
+	if err != nil {
+		panic(err)
+	}
+	c.EnableProbes()
+	cp.Cluster = c
+	return cp
+}
+
+func (cp *churnPAST) insert(node int, name string, data []byte) past.InsertResult {
+	return syncInsert(cp.Cluster, cp.nodes[node], cp.card(node), name, data, cp.cfg.K)
+}
+
+func (cp *churnPAST) lookup(node int, f id.File) past.LookupResult {
+	return syncLookup(cp.Cluster, cp.nodes[node], f)
+}
+
+// liveVerifiedCopies counts live nodes holding a content-verified copy.
+func (cp *churnPAST) liveVerifiedCopies(f id.File) int {
+	n := 0
+	for i, pn := range cp.nodes {
+		if pn == nil || cp.Down(i) {
+			continue
+		}
+		it, err := pn.Store().Get(f)
+		if err != nil {
+			continue
+		}
+		if seccrypt.VerifyContent(&it.Cert, it.Data) == nil {
+			n++
+		}
+	}
+	return n
+}
+
+// churnTrace derives one experiment's trace from the shared knobs.
+func churnTrace(seed int64, initial int, rate float64, session, horizon time.Duration) *churn.Trace {
+	return churn.Generate(churn.Config{
+		Seed:        seed,
+		Initial:     initial,
+		ArrivalRate: rate * Churn.RateScale,
+		Session:     churn.LognormalSessions(session),
+		CrashFrac:   Churn.CrashFrac,
+		Horizon:     horizon,
+		MinLive:     initial / 2,
+	})
+}
+
+// E15ChurnAvailability measures lookup success and route quality while
+// nodes continuously arrive, leave and crash — the operational face of
+// the persistence claim: the storage invariant keeps files reachable
+// through membership change.
+func E15ChurnAvailability(scale Scale, seed int64) Result {
+	n, files, horizon := 40, 24, 40*time.Second
+	rates := []float64{0, 0.1, 0.25, 0.5} // arrivals per virtual second
+	if scale == Full {
+		n, files, horizon = 200, 120, 150*time.Second
+	}
+	cfg := churnPASTConfig()
+	tbl := &metrics.Table{Header: []string{"arrivals/min", "arrived", "departed", "live at end", "lookups", "success", "avg hops"}}
+	for _, rate := range rates {
+		cp := buildChurnPAST(n, seed, cfg)
+		var ids []id.File
+		for f := 0; len(ids) < files && f < 2*files; f++ {
+			res := cp.insert(cp.Rand().Intn(n), fmt.Sprintf("a-%d", f), make([]byte, 1024))
+			if res.Err == nil {
+				ids = append(ids, res.FileID)
+			}
+		}
+		d := churn.NewDriver(cp.Cluster, churnTrace(seed+21, n, rate, Churn.MedianSession, horizon))
+		d.MinLive = n / 2
+		ok, total := 0, 0
+		var hops metrics.Summary
+		for tick := time.Second; tick <= horizon; tick += time.Second {
+			d.Advance(tick)
+			for l := 0; l < 2; l++ {
+				f := ids[cp.Rand().Intn(len(ids))]
+				lr := cp.lookup(cp.RandomLiveNode(), f)
+				total++
+				if lr.Err == nil {
+					ok++
+					hops.Add(float64(lr.Hops))
+				}
+			}
+		}
+		tbl.AddRow(fmt.Sprintf("%.0f", rate*Churn.RateScale*60),
+			d.Stats.Arrivals, d.Stats.Leaves+d.Stats.Crashes, cp.LiveCount(),
+			total, frac(ok, total), hops.Mean())
+	}
+	return Result{
+		ID:         "E15",
+		Title:      fmt.Sprintf("Lookup availability under continuous churn (N=%d, k=%d, median session %s)", n, cfg.K, Churn.MedianSession),
+		PaperClaim: "the storage invariant is maintained as nodes join, leave and fail, so files stay reachable",
+		Table:      tbl,
+		Notes: []string{
+			fmt.Sprintf("crash fraction %.0f%% of departures; departures floored at N/2 live", Churn.CrashFrac*100),
+		},
+	}
+}
+
+// E16MaintenanceBandwidth compares the replica-maintenance cost of
+// digest-based anti-entropy against the legacy push-all scheme over the
+// same churn trace: same membership events, same files, two maintenance
+// protocols.
+func E16MaintenanceBandwidth(scale Scale, seed int64) Result {
+	n, files, horizon := 40, 32, 30*time.Second
+	rate := 0.25
+	if scale == Full {
+		n, files, horizon = 160, 150, 120*time.Second
+	}
+	tbl := &metrics.Table{Header: []string{"scheme", "maint msgs", "maint KiB", "bodies", "offers", "requests", "files >= k"}}
+	for _, legacy := range []bool{false, true} {
+		cfg := churnPASTConfig()
+		cfg.LegacyPushReplication = legacy
+		cp := buildChurnPAST(n, seed, cfg)
+		var ids []id.File
+		for f := 0; len(ids) < files && f < 2*files; f++ {
+			res := cp.insert(cp.Rand().Intn(n), fmt.Sprintf("m-%d", f), make([]byte, 2048))
+			if res.Err == nil {
+				ids = append(ids, res.FileID)
+			}
+		}
+		d := churn.NewDriver(cp.Cluster, churnTrace(seed+22, n, rate, Churn.MedianSession, horizon))
+		d.MinLive = n / 2
+		d.Advance(horizon)
+		cp.RunSettle(10 * time.Second)
+		var agg past.Stats
+		for _, pn := range cp.nodes {
+			if pn == nil {
+				continue
+			}
+			st := pn.Stats()
+			agg.MaintenanceMsgs += st.MaintenanceMsgs
+			agg.MaintenanceBytes += st.MaintenanceBytes
+			agg.Replications += st.Replications
+			agg.SyncOffers += st.SyncOffers
+			agg.SyncRequests += st.SyncRequests
+		}
+		healthy := 0
+		for _, f := range ids {
+			if cp.liveVerifiedCopies(f) >= cfg.K {
+				healthy++
+			}
+		}
+		scheme := "anti-entropy"
+		if legacy {
+			scheme = "push-all (legacy)"
+		}
+		tbl.AddRow(scheme, agg.MaintenanceMsgs, fmt.Sprintf("%.1f", float64(agg.MaintenanceBytes)/1024),
+			agg.Replications, agg.SyncOffers, agg.SyncRequests,
+			fmt.Sprintf("%d/%d", healthy, len(ids)))
+	}
+	return Result{
+		ID:         "E16",
+		Title:      fmt.Sprintf("Replica-maintenance bandwidth under churn: anti-entropy vs push-all (N=%d, %d files)", n, files),
+		PaperClaim: "restoring the invariant needs only the missing copies; exchanging fileId digests first avoids re-shipping full bodies on every leaf-set change",
+		Table:      tbl,
+		Notes: []string{
+			"same churn trace and file population for both schemes; bytes are modeled wire sizes (certificate + content + refs)",
+		},
+	}
+}
+
+// E17ReplicaDurability runs churn for a long simulated horizon and then
+// audits every file's replica count: the distribution should concentrate
+// at k, with losses only when all k holders departed within one repair
+// interval.
+func E17ReplicaDurability(scale Scale, seed int64) Result {
+	n, files, horizon := 40, 32, 120*time.Second
+	rate := 0.2
+	if scale == Full {
+		n, files, horizon = 160, 150, 600*time.Second
+	}
+	cfg := churnPASTConfig()
+	cp := buildChurnPAST(n, seed, cfg)
+	var ids []id.File
+	for f := 0; len(ids) < files && f < 2*files; f++ {
+		res := cp.insert(cp.Rand().Intn(n), fmt.Sprintf("d-%d", f), make([]byte, 1024))
+		if res.Err == nil {
+			ids = append(ids, res.FileID)
+		}
+	}
+	// Durability is about the steady state, so sessions here are long
+	// relative to the repair interval (real deployments are further still
+	// in that direction); E15 stresses the fast-churn end of the spectrum.
+	d := churn.NewDriver(cp.Cluster, churnTrace(seed+23, n, rate, 3*Churn.MedianSession, horizon))
+	d.MinLive = n / 2
+	d.Advance(horizon)
+	cp.RunSettle(15 * time.Second)
+	var h metrics.Hist
+	atLeastK, lost := 0, 0
+	for _, f := range ids {
+		c := cp.liveVerifiedCopies(f)
+		h.Add(c)
+		if c >= cfg.K {
+			atLeastK++
+		}
+		if c == 0 {
+			lost++
+		}
+	}
+	tbl := &metrics.Table{Header: []string{"live verified replicas", "files", "fraction"}}
+	for v := 0; v <= h.MaxValue(); v++ {
+		if h.Count(v) == 0 {
+			continue
+		}
+		tbl.AddRow(v, h.Count(v), h.Frac(v))
+	}
+	tbl.AddRow(fmt.Sprintf(">= k (%d)", cfg.K), atLeastK, frac(atLeastK, len(ids)))
+	return Result{
+		ID:         "E17",
+		Title:      fmt.Sprintf("Replica-count distribution after %s of churn (N=%d, k=%d)", horizon, n, cfg.K),
+		PaperClaim: "the system maintains k copies of each file as part of continuous failure recovery",
+		Table:      tbl,
+		Notes: []string{
+			fmt.Sprintf("churn applied: %d arrivals, %d leaves, %d crashes (%d skipped at the N/2 floor); %d live nodes at end",
+				d.Stats.Arrivals, d.Stats.Leaves, d.Stats.Crashes, d.Stats.Skipped, cp.LiveCount()),
+			fmt.Sprintf("files lost outright: %d/%d", lost, len(ids)),
+			fmt.Sprintf("mean live replicas per file: %.2f", h.Mean()),
+		},
+	}
+}

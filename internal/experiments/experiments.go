@@ -71,6 +71,9 @@ var registry = []struct {
 	{"E12", E12Quota},
 	{"E13", E13ChordComparison},
 	{"E14", E14ReplicaDiversity},
+	{"E15", E15ChurnAvailability},
+	{"E16", E16MaintenanceBandwidth},
+	{"E17", E17ReplicaDurability},
 	{"A1", A1ParameterAblation},
 	{"A2", A2DiversionAblation},
 }
@@ -208,26 +211,37 @@ func mustPAST(n int, seed int64, cfg past.Config, capacities func(i int) int64, 
 	return pc
 }
 
-// insert runs one synchronous insert.
-func (pc *pastCluster) insert(node int, card *seccrypt.Smartcard, name string, data []byte, k int) past.InsertResult {
+// syncInsert drives one insert on pn to completion (shared by the static
+// and churn harnesses).
+func syncInsert(c *cluster.Cluster, pn *past.Node, card *seccrypt.Smartcard, name string, data []byte, k int) past.InsertResult {
 	var res *past.InsertResult
-	pc.PAST[node].Insert(card, name, data, k, func(r past.InsertResult) { res = &r })
-	pc.Net.RunUntil(func() bool { return res != nil }, 50_000_000)
+	pn.Insert(card, name, data, k, func(r past.InsertResult) { res = &r })
+	c.Net.RunUntil(func() bool { return res != nil }, 50_000_000)
 	if res == nil {
 		return past.InsertResult{Err: past.ErrTimeout}
 	}
 	return *res
 }
 
-// lookup runs one synchronous lookup.
-func (pc *pastCluster) lookup(node int, f id.File) past.LookupResult {
+// syncLookup drives one lookup on pn to completion.
+func syncLookup(c *cluster.Cluster, pn *past.Node, f id.File) past.LookupResult {
 	var res *past.LookupResult
-	pc.PAST[node].Lookup(f, func(r past.LookupResult) { res = &r })
-	pc.Net.RunUntil(func() bool { return res != nil }, 50_000_000)
+	pn.Lookup(f, func(r past.LookupResult) { res = &r })
+	c.Net.RunUntil(func() bool { return res != nil }, 50_000_000)
 	if res == nil {
 		return past.LookupResult{Err: past.ErrTimeout}
 	}
 	return *res
+}
+
+// insert runs one synchronous insert.
+func (pc *pastCluster) insert(node int, card *seccrypt.Smartcard, name string, data []byte, k int) past.InsertResult {
+	return syncInsert(pc.Cluster, pc.PAST[node], card, name, data, k)
+}
+
+// lookup runs one synchronous lookup.
+func (pc *pastCluster) lookup(node int, f id.File) past.LookupResult {
+	return syncLookup(pc.Cluster, pc.PAST[node], f)
 }
 
 // globalUtilization sums used/capacity over live nodes.

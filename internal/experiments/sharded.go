@@ -4,7 +4,7 @@ package experiments
 //
 // The grid experiments (E1/E6/E7/E10/E11/A1/A2) parallelize across data
 // points (see parallel.go). The phase experiments — E2-E5, E8, E9,
-// E12-E14 — drive ONE long-lived cluster through sequential phases, so
+// E12-E17 — drive ONE long-lived cluster through sequential phases, so
 // the only way to use more than one core is to parallelize inside the
 // simulation. They run on simnet's sharded conservative-window engine:
 // the cluster's nodes are partitioned by transit domain and each window

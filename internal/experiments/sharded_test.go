@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -41,6 +42,70 @@ func TestShardedDeterminismE4(t *testing.T) {
 			t.Fatalf("E4 tables diverge between shards=1 and shards=%d:\n--- shards=1:\n%s\n--- shards=%d:\n%s",
 				shards, base, shards, got)
 		}
+	}
+}
+
+// TestShardedDeterminismChurn asserts the churn experiments' acceptance
+// bar: E15-E17 — mid-run joins, graceful leaves and silent crashes
+// driven by the churn engine, plus anti-entropy replica maintenance —
+// produce byte-identical tables at shards=1, 2 and 4 for a fixed seed.
+// Run under -race in CI alongside TestChurnStorageInvariant.
+func TestShardedDeterminismChurn(t *testing.T) {
+	defer func(old int) { Shards = old }(Shards)
+
+	for _, exp := range []string{"E15", "E16", "E17"} {
+		t.Run(exp, func(t *testing.T) {
+			var base string
+			for _, shards := range []int{1, 2, 4} {
+				Shards = shards
+				res, err := Run(exp, Small, 42)
+				if err != nil {
+					t.Fatalf("%s at shards=%d: %v", exp, shards, err)
+				}
+				got := render(res)
+				if shards == 1 {
+					base = got
+					continue
+				}
+				if got != base {
+					t.Fatalf("%s tables diverge between shards=1 and shards=%d:\n--- shards=1:\n%s\n--- shards=%d:\n%s",
+						exp, shards, base, shards, got)
+				}
+			}
+		})
+	}
+}
+
+// TestAntiEntropySavesBandwidth pins E16's headline: at the same churn
+// rate, digest-based anti-entropy moves strictly fewer maintenance bytes
+// (and messages) than the legacy push-all baseline, while keeping as
+// many files at full replication.
+func TestAntiEntropySavesBandwidth(t *testing.T) {
+	res, err := Run("E16", Small, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Table.Rows) != 2 {
+		t.Fatalf("E16 rows = %d, want 2", len(res.Table.Rows))
+	}
+	parseKiB := func(row []string) float64 {
+		var v float64
+		if _, err := fmt.Sscanf(row[2], "%f", &v); err != nil {
+			t.Fatalf("bad maint KiB cell %q: %v", row[2], err)
+		}
+		return v
+	}
+	ae, legacy := parseKiB(res.Table.Rows[0]), parseKiB(res.Table.Rows[1])
+	if ae <= 0 || legacy <= 0 {
+		t.Fatalf("degenerate measurement: anti-entropy %.1f KiB, legacy %.1f KiB", ae, legacy)
+	}
+	if ae >= legacy {
+		t.Fatalf("anti-entropy used %.1f KiB, not below legacy push-all's %.1f KiB", ae, legacy)
+	}
+	// The savings must not come from skipping repairs: both schemes must
+	// end the run with the same number of fully replicated files.
+	if aeHealthy, legacyHealthy := res.Table.Rows[0][6], res.Table.Rows[1][6]; aeHealthy != legacyHealthy {
+		t.Fatalf("replication health diverges: anti-entropy %s vs legacy %s files >= k", aeHealthy, legacyHealthy)
 	}
 }
 

@@ -37,6 +37,14 @@ type Config struct {
 	// Caching enables caching copies of files at nodes along lookup and
 	// insert paths, using spare (non-replica) capacity.
 	Caching bool
+	// LegacyPushReplication disables digest-based anti-entropy and
+	// restores the original maintenance scheme: on every leaf-set change
+	// a holder pushes full file bodies to every member of each file's
+	// replica set, relying on receivers to discard duplicates. It exists
+	// as the measured baseline for experiment E16; anti-entropy (the
+	// default) exchanges compact fileId summaries first and transfers
+	// only missing replicas.
+	LegacyPushReplication bool
 	// RequestTimeout bounds how long a client operation waits for
 	// receipts or a reply.
 	RequestTimeout time.Duration

@@ -4,6 +4,7 @@ import (
 	"crypto/ed25519"
 	"sort"
 	"sync"
+	"time"
 
 	"past/internal/id"
 	"past/internal/pastry"
@@ -24,6 +25,12 @@ type Node struct {
 
 	mu      sync.Mutex
 	pending map[uint64]*pendingOp
+	// requested tracks anti-entropy fetches in flight (fileId → request
+	// time): when several holders offer the same missing file within one
+	// repair round, only the first offer triggers a SyncRequest, so only
+	// one full body is shipped. Entries expire after RequestTimeout (the
+	// offerer may have departed) and are dropped when the body stores.
+	requested map[id.File]time.Duration
 
 	// Stats counts storage-management events for the experiments.
 	stats Stats
@@ -42,6 +49,16 @@ type Stats struct {
 	LookupsServed   int
 	CacheServes     int
 	PointerFollowed int
+
+	// Replica-maintenance traffic sent by this node (anti-entropy digests
+	// and requests, plus Replicate bodies under either scheme).
+	// MaintenanceBytes approximates the wire size of that traffic so
+	// experiment E16 can compare schemes by bandwidth, not just message
+	// count.
+	SyncOffers       int
+	SyncRequests     int
+	MaintenanceMsgs  int
+	MaintenanceBytes int64
 }
 
 // NewNode creates a PAST node bound to pn. The node's smartcard signs
@@ -71,6 +88,7 @@ func NewNode(cfg Config, pn *pastry.Node, card *seccrypt.Smartcard, brokerPub ed
 		store:     storage.NewStore(cfg.Capacity),
 		cache:     storage.NewCache(cfg.Capacity),
 		pending:   make(map[uint64]*pendingOp),
+		requested: make(map[id.File]time.Duration),
 	}
 	pn.SetApp(n)
 	return n
@@ -182,6 +200,10 @@ func (n *Node) HandleDirect(from wire.NodeRef, m wire.Msg) bool {
 		n.handleReclaimReceipt(msg)
 	case wire.Replicate:
 		n.handleReplicate(msg)
+	case wire.SyncOffer:
+		n.handleSyncOffer(msg)
+	case wire.SyncRequest:
+		n.handleSyncRequest(msg)
 	case wire.CacheCopy:
 		n.handleCacheCopy(msg)
 	case wire.AuditChallenge:
@@ -642,11 +664,51 @@ func (n *Node) handleReclaimForward(m wire.ReclaimForward) {
 // ---------------------------------------------------------------------------
 // Re-replication and audits
 
-// reReplicate pushes stored primary replicas to nodes that newly entered
-// their files' replica sets.
+// Approximate wire sizes for maintenance accounting. The simulator never
+// serializes, so these model what the gob/TCP transport would move:
+// fixed-width fields at their width, byte slices at their length, and a
+// NodeRef as id plus a short address.
+const refApproxBytes = id.NodeBytes + 12
+
+func certApproxBytes(c *wire.FileCertificate) int64 {
+	return int64(id.FileBytes + 32 + 8 + 4 + 8 + len(c.Salt) + len(c.OwnerPub) + len(c.CardCert) + len(c.Sig))
+}
+
+func replicateApproxBytes(c *wire.FileCertificate, dataLen int) int64 {
+	return certApproxBytes(c) + int64(dataLen) + refApproxBytes
+}
+
+func syncOfferApproxBytes(files int) int64 {
+	return int64(files*(id.FileBytes+8)) + refApproxBytes // fileId + size each
+}
+
+func syncRequestApproxBytes(files int) int64 {
+	return int64(files*id.FileBytes) + refApproxBytes
+}
+
+// reReplicate restores the replication invariant after a leaf-set change.
+// The default scheme is digest-based anti-entropy: send each peer that is
+// in one of our files' replica sets ONE compact summary of the fileIds it
+// should hold; the peer fetches only what it is missing (SyncRequest →
+// Replicate). The legacy scheme pushes every full body to every replica-set
+// member on every change and relies on receivers to drop duplicates; it is
+// kept selectable as the bandwidth baseline for experiment E16.
 func (n *Node) reReplicate() {
 	self := n.pn.Ref()
-	for _, it := range n.store.Items() {
+	items := n.store.Items()
+	if len(items) == 0 {
+		return
+	}
+	if !n.cfg.LegacyPushReplication {
+		n.antiEntropy(self, items)
+		return
+	}
+	// Legacy push-all. Counter updates are accumulated locally and folded
+	// into stats under one lock acquire — this loop sends O(files × k)
+	// messages and is hot under churn.
+	reps := 0
+	var bytes int64
+	for _, it := range items {
 		if it.Diverted {
 			continue // the primary is responsible for diverted copies
 		}
@@ -665,16 +727,157 @@ func (n *Node) reReplicate() {
 			if ref.ID == self.ID {
 				continue
 			}
-			n.mu.Lock()
-			n.stats.Replications++
-			n.mu.Unlock()
+			reps++
+			bytes += replicateApproxBytes(&it.Cert, len(it.Data))
 			n.pn.Send(ref, wire.Replicate{Cert: it.Cert, Data: it.Data, From: self})
 		}
+	}
+	if reps > 0 {
+		n.mu.Lock()
+		n.stats.Replications += reps
+		n.stats.MaintenanceMsgs += reps
+		n.stats.MaintenanceBytes += bytes
+		n.mu.Unlock()
+	}
+}
+
+// antiEntropy sends one digest per replica-set peer covering every stored
+// primary file that peer should hold. Store.Items returns files in sorted
+// fileId order, so the digest contents and the peer send order are
+// deterministic.
+func (n *Node) antiEntropy(self wire.NodeRef, items []storage.Item) {
+	type offer struct {
+		ref   wire.NodeRef
+		files []id.File
+		sizes []int64
+	}
+	var offers []*offer
+	index := make(map[id.Node]*offer)
+	for i := range items {
+		it := &items[i]
+		if it.Diverted {
+			continue // the primary is responsible for diverted copies
+		}
+		set := n.replicaSet(it.Cert.FileID.Key(), it.Cert.Replicas)
+		selfIn := false
+		for _, ref := range set {
+			if ref.ID == self.ID {
+				selfIn = true
+				break
+			}
+		}
+		if !selfIn {
+			continue // stale extra copy; harmless, acts as cache
+		}
+		for _, ref := range set {
+			if ref.ID == self.ID {
+				continue
+			}
+			o := index[ref.ID]
+			if o == nil {
+				o = &offer{ref: ref}
+				index[ref.ID] = o
+				offers = append(offers, o)
+			}
+			o.files = append(o.files, it.Cert.FileID)
+			o.sizes = append(o.sizes, it.Cert.Size)
+		}
+	}
+	if len(offers) == 0 {
+		return
+	}
+	var bytes int64
+	for _, o := range offers {
+		bytes += syncOfferApproxBytes(len(o.files))
+		n.pn.Send(o.ref, wire.SyncOffer{From: self, Files: o.files, Sizes: o.sizes})
+	}
+	n.mu.Lock()
+	n.stats.SyncOffers += len(offers)
+	n.stats.MaintenanceMsgs += len(offers)
+	n.stats.MaintenanceBytes += bytes
+	n.mu.Unlock()
+}
+
+// handleSyncOffer diffs an anti-entropy digest against local state and
+// requests only the missing files: not already stored or delegated, not
+// over the admission threshold at the advertised size, and not already
+// requested from another offerer this repair round. Final acceptance
+// (certificate, content hash, replica-set membership, free space) is
+// enforced when the bodies arrive in handleReplicate, so a stale or
+// malicious digest can waste at most one round trip.
+func (n *Node) handleSyncOffer(m wire.SyncOffer) {
+	var missing []id.File
+	now := n.pn.Clock().Now()
+	n.mu.Lock()
+	// Expire abandoned fetches (offerer crashed before shipping, or the
+	// file was never offered again) so the map stays bounded by the
+	// fetches genuinely in flight.
+	for f, at := range n.requested {
+		if now-at >= n.cfg.RequestTimeout {
+			delete(n.requested, f)
+		}
+	}
+	for i, f := range m.Files {
+		if n.store.Has(f) {
+			delete(n.requested, f)
+			continue
+		}
+		if _, ok := n.store.Pointer(f); ok {
+			continue // our responsibility is delegated to a diverted holder
+		}
+		if i < len(m.Sizes) && !n.accept(m.Sizes[i], false) {
+			continue // the body would be rejected on arrival; skip the fetch
+		}
+		if at, ok := n.requested[f]; ok && now-at < n.cfg.RequestTimeout {
+			continue // another offerer is already shipping this file
+		}
+		n.requested[f] = now
+		missing = append(missing, f)
+	}
+	if len(missing) == 0 {
+		n.mu.Unlock()
+		return
+	}
+	n.stats.SyncRequests++
+	n.stats.MaintenanceMsgs++
+	n.stats.MaintenanceBytes += syncRequestApproxBytes(len(missing))
+	n.mu.Unlock()
+	n.pn.Send(m.From, wire.SyncRequest{From: n.pn.Ref(), Files: missing})
+}
+
+// handleSyncRequest answers an anti-entropy fetch with full Replicate
+// bodies for the files still held locally.
+func (n *Node) handleSyncRequest(m wire.SyncRequest) {
+	self := n.pn.Ref()
+	reps := 0
+	var bytes int64
+	for _, f := range m.Files {
+		it, err := n.store.Get(f)
+		if err != nil {
+			continue // reclaimed or never held; the requester will re-sync later
+		}
+		reps++
+		bytes += replicateApproxBytes(&it.Cert, len(it.Data))
+		n.pn.Send(m.From, wire.Replicate{Cert: it.Cert, Data: it.Data, From: self})
+	}
+	if reps > 0 {
+		n.mu.Lock()
+		n.stats.Replications += reps
+		n.stats.MaintenanceMsgs += reps
+		n.stats.MaintenanceBytes += bytes
+		n.mu.Unlock()
 	}
 }
 
 // handleReplicate stores a recovery transfer if it verifies and fits.
 func (n *Node) handleReplicate(m wire.Replicate) {
+	// The in-flight anti-entropy fetch (if any) is over: a body arrived.
+	// Clearing the marker here — even when the body is rejected below —
+	// lets the next SyncOffer retry immediately, e.g. once this node's
+	// replica-set view has converged.
+	n.mu.Lock()
+	delete(n.requested, m.Cert.FileID)
+	n.mu.Unlock()
 	if n.store.Has(m.Cert.FileID) {
 		return
 	}

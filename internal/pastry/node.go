@@ -367,6 +367,8 @@ func (n *Node) handle(from string, m wire.Msg) {
 		acts = n.handleAnnounce(msg)
 	case wire.Heartbeat:
 		n.noteAlive(msg.From)
+	case wire.Depart:
+		acts = n.declareDeadLocked(msg.From)
 	case wire.Ping:
 		n.tr.Send(msg.From.Addr, wire.Pong{From: n.ref, Nonce: msg.Nonce})
 	case wire.Pong:
@@ -924,6 +926,23 @@ func (n *Node) handleRTRepairReply(m wire.RTRepairReply) {
 	if !m.Entry.IsZero() && m.Entry.ID != n.ref.ID {
 		n.considerLocked(m.Entry)
 	}
+}
+
+// Depart shuts the node down gracefully: it tells its leaf-set members
+// it is going (so they repair their state and restore replication
+// immediately instead of waiting out FailTimeout), then stops
+// participating. The paper's failure model is silent departure (Leave);
+// Depart models the cooperative case a long-lived deployment also sees.
+func (n *Node) Depart() {
+	n.mu.Lock()
+	if n.alive {
+		bye := wire.Depart{From: n.ref}
+		for _, m := range n.leaf.Members() {
+			n.tr.Send(m.Addr, bye)
+		}
+	}
+	n.mu.Unlock()
+	n.Leave() // shared shutdown tail: flags, keep-alive timer
 }
 
 // Leave shuts the node down silently (it stops responding), modelling the

@@ -324,6 +324,42 @@ type Replicate struct {
 
 func (Replicate) Kind() string { return "replicate" }
 
+// SyncOffer is the first leg of digest-based anti-entropy: after a
+// leaf-set change, a replica holder sends each peer that entered one of
+// its files' replica sets a compact summary of the fileIds that peer
+// should hold, instead of pushing full file bodies. The peer answers
+// with a SyncRequest naming only the files it is missing. Sizes[i] is
+// the advertised content size of Files[i], letting a full receiver skip
+// files its admission policy would reject anyway — advisory only, since
+// arriving bodies are re-verified against their certificates.
+type SyncOffer struct {
+	From  NodeRef
+	Files []id.File
+	Sizes []int64
+}
+
+func (SyncOffer) Kind() string { return "sync-offer" }
+
+// SyncRequest asks the offerer for the full bodies (as Replicate
+// messages) of the files the requester is missing — the second leg of
+// anti-entropy.
+type SyncRequest struct {
+	From  NodeRef
+	Files []id.File
+}
+
+func (SyncRequest) Kind() string { return "sync-request" }
+
+// Depart announces a graceful departure to the sender's leaf-set
+// members, letting them start repair and replica maintenance immediately
+// instead of waiting out the failure-detection timeout. Silent crashes
+// send nothing.
+type Depart struct {
+	From NodeRef
+}
+
+func (Depart) Kind() string { return "depart" }
+
 // CacheCopy pushes an unsolicited cached copy toward an interested client;
 // the receiver may store it in spare capacity (section 2.3).
 type CacheCopy struct {
@@ -394,6 +430,9 @@ func RegisterAll() {
 	gob.Register(ReclaimForward{})
 	gob.Register(ReclaimReceipt{})
 	gob.Register(Replicate{})
+	gob.Register(SyncOffer{})
+	gob.Register(SyncRequest{})
+	gob.Register(Depart{})
 	gob.Register(CacheCopy{})
 	gob.Register(FetchRequest{})
 	gob.Register(AuditChallenge{})
