@@ -1,0 +1,94 @@
+// Command benchguard compares a freshly measured pastbench report
+// against the committed baseline and fails (exit 1) when a watched
+// microbenchmark regressed beyond the tolerance:
+//
+//	go run ./cmd/benchguard -base BENCH_4.json -new bench-ci.json \
+//	    -bench Insert4KiB -tolerance 1.25
+//
+// The tolerance is deliberately loose: shared CI containers show
+// double-digit run-to-run noise on wall-clock numbers (BENCH_1 through
+// BENCH_3 record the same code within ±10%), so the guard is meant to
+// catch structural regressions — an accidental re-serialization, a lost
+// cache — not single-digit drift.
+//
+// The baseline is machine-class sensitive: it must have been measured
+// on hardware comparable to where the guard runs. If CI moves to a
+// slower runner class, regenerate the committed baseline there
+// (go run ./cmd/pastbench -out BENCH_<n>.json) or raise -tolerance —
+// the allocs/op line printed below is machine-independent and tells
+// the two cases apart (unchanged allocs + slower ns/op = machine or
+// noise, not code).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type report struct {
+	Benchmarks []struct {
+		Name        string  `json:"name"`
+		NsPerOp     float64 `json:"ns_per_op"`
+		AllocsPerOp int64   `json:"allocs_per_op"`
+	} `json:"benchmarks"`
+}
+
+func load(path string) (*report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+func (r *report) ns(name string) (float64, int64, bool) {
+	for _, b := range r.Benchmarks {
+		if b.Name == name {
+			return b.NsPerOp, b.AllocsPerOp, true
+		}
+	}
+	return 0, 0, false
+}
+
+func main() {
+	base := flag.String("base", "BENCH_4.json", "committed baseline report")
+	fresh := flag.String("new", "bench-ci.json", "freshly measured report")
+	bench := flag.String("bench", "Insert4KiB", "comma-free benchmark name to watch")
+	tol := flag.Float64("tolerance", 1.25, "fail when new ns/op exceeds base ns/op times this")
+	flag.Parse()
+
+	baseRep, err := load(*base)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(2)
+	}
+	freshRep, err := load(*fresh)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(2)
+	}
+	b, bAllocs, ok := baseRep.ns(*bench)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "benchguard: %s missing from %s\n", *bench, *base)
+		os.Exit(2)
+	}
+	f, fAllocs, ok := freshRep.ns(*bench)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "benchguard: %s missing from %s\n", *bench, *fresh)
+		os.Exit(2)
+	}
+	ratio := f / b
+	fmt.Printf("benchguard: %s baseline %.0f ns/op / %d allocs, fresh %.0f ns/op / %d allocs (%.2fx, tolerance %.2fx)\n",
+		*bench, b, bAllocs, f, fAllocs, ratio, *tol)
+	if ratio > *tol {
+		fmt.Fprintf(os.Stderr, "benchguard: REGRESSION: %s is %.2fx the committed baseline (limit %.2fx)\n",
+			*bench, ratio, *tol)
+		os.Exit(1)
+	}
+}

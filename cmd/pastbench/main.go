@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -44,16 +45,33 @@ type ExpResult struct {
 	WallMs float64 `json:"wall_ms"`
 }
 
+// MatrixResult is one cell of the GOMAXPROCS × shards scaling matrix:
+// the same experiment, same seed (tables byte-identical by the sharded
+// engine's guarantee), timed under a different core budget and shard
+// count. On a one-core container the matrix records pure scheduler
+// overhead; on a multi-core host it records the sharded engine's actual
+// scaling, which earlier BENCH files never captured.
+type MatrixResult struct {
+	ID         string  `json:"id"`
+	Scale      string  `json:"scale"`
+	Seed       int64   `json:"seed"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Shards     int     `json:"shards"`
+	WallMs     float64 `json:"wall_ms"`
+}
+
 // Report is the BENCH_<n>.json schema.
 type Report struct {
-	GoVersion   string        `json:"go_version"`
-	GOMAXPROCS  int           `json:"gomaxprocs"`
-	Shards      int           `json:"shards"`
-	UnixTime    int64         `json:"unix_time"`
-	Benchmarks  []BenchResult `json:"benchmarks"`
-	Experiments []ExpResult   `json:"experiments"`
-	MemoHits    uint64        `json:"verify_memo_hits"`
-	MemoMisses  uint64        `json:"verify_memo_misses"`
+	GoVersion   string         `json:"go_version"`
+	GOMAXPROCS  int            `json:"gomaxprocs"`
+	NumCPU      int            `json:"num_cpu"`
+	Shards      int            `json:"shards"`
+	UnixTime    int64          `json:"unix_time"`
+	Benchmarks  []BenchResult  `json:"benchmarks"`
+	Experiments []ExpResult    `json:"experiments"`
+	Matrix      []MatrixResult `json:"scaling_matrix,omitempty"`
+	MemoHits    uint64         `json:"verify_memo_hits"`
+	MemoMisses  uint64         `json:"verify_memo_misses"`
 }
 
 func benchNetwork(n int) *past.Network {
@@ -83,6 +101,12 @@ func main() {
 	expIDs := flag.String("experiments", "E1,E4,E10,E15,E16,E17", "comma-separated experiment ids to time (empty disables)")
 	shards := flag.Int("shards", experiments.Shards,
 		"simulation shards for the phase experiments (byte-identical results; parallelism only)")
+	matrixExps := flag.String("matrix-exps", "E4,E9",
+		"experiments for the GOMAXPROCS x shards scaling matrix (empty disables)")
+	matrixCPUs := flag.String("matrix-cpus", "",
+		"comma-separated GOMAXPROCS values for the matrix (default: 1 and NumCPU)")
+	matrixShards := flag.String("matrix-shards", "1,2,4",
+		"comma-separated shard counts for the matrix")
 	flag.Parse()
 	if *shards < 1 {
 		fmt.Fprintf(os.Stderr, "pastbench: -shards must be >= 1, got %d\n", *shards)
@@ -102,10 +126,28 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	for _, idStr := range splitComma(*matrixExps) {
+		if !known[idStr] {
+			fmt.Fprintf(os.Stderr, "unknown matrix experiment %q (have %v)\n", idStr, experiments.IDs())
+			os.Exit(1)
+		}
+	}
+	matrixCPUList := parseInts(*matrixCPUs)
+	if len(matrixCPUList) == 0 {
+		matrixCPUList = []int{1}
+		if n := runtime.NumCPU(); n > 1 {
+			matrixCPUList = append(matrixCPUList, n)
+		}
+	}
+	matrixShardList := parseInts(*matrixShards)
+	if len(matrixShardList) == 0 {
+		matrixShardList = []int{1, 2, 4}
+	}
 
 	rep := Report{
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
 		Shards:     experiments.Shards,
 		UnixTime:   time.Now().Unix(),
 	}
@@ -181,6 +223,40 @@ func main() {
 		fmt.Fprintf(os.Stderr, "%s done\n", idStr)
 	}
 
+	// GOMAXPROCS × shards scaling matrix. Cells run sequentially with the
+	// process core budget pinned per cell; tables are byte-identical
+	// across every cell (sharded-engine guarantee), so wall clock is the
+	// only variable. The phase experiments' worker pool sizes itself from
+	// GOMAXPROCS, so each cell exercises exactly the configuration a user
+	// with that many cores would get.
+	if *matrixExps != "" {
+		cpus := matrixCPUList
+		shardList := matrixShardList
+		oldProcs := runtime.GOMAXPROCS(0)
+		oldShards := experiments.Shards
+		for _, idStr := range splitComma(*matrixExps) {
+			for _, cpu := range cpus {
+				runtime.GOMAXPROCS(cpu)
+				for _, s := range shardList {
+					experiments.Shards = s
+					start := time.Now()
+					if _, err := experiments.Run(idStr, experiments.Small, 42); err != nil {
+						fmt.Fprintf(os.Stderr, "matrix %s cpus=%d shards=%d: %v\n", idStr, cpu, s, err)
+						os.Exit(1)
+					}
+					rep.Matrix = append(rep.Matrix, MatrixResult{
+						ID: idStr, Scale: "Small", Seed: 42,
+						GOMAXPROCS: cpu, Shards: s,
+						WallMs: float64(time.Since(start).Microseconds()) / 1000,
+					})
+					fmt.Fprintf(os.Stderr, "matrix %s cpus=%d shards=%d done\n", idStr, cpu, s)
+				}
+			}
+		}
+		runtime.GOMAXPROCS(oldProcs)
+		experiments.Shards = oldShards
+	}
+
 	rep.MemoHits, rep.MemoMisses = seccrypt.MemoStats()
 
 	data, err := json.MarshalIndent(rep, "", "  ")
@@ -193,6 +269,19 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s\n", *out)
+}
+
+func parseInts(s string) []int {
+	var out []int
+	for _, part := range splitComma(s) {
+		v, err := strconv.Atoi(part)
+		if err != nil || v < 1 {
+			fmt.Fprintf(os.Stderr, "bad integer list entry %q\n", part)
+			os.Exit(2)
+		}
+		out = append(out, v)
+	}
+	return out
 }
 
 func splitComma(s string) []string {

@@ -42,6 +42,13 @@ type Options struct {
 	// positive value, so Shards only selects parallelism. Zero keeps the
 	// legacy single-threaded engine.
 	Shards int
+	// WindowWorkers overrides the sharded engine's persistent worker
+	// pool size (simnet.Config.Workers): zero picks
+	// min(GOMAXPROCS, shards), 1 forces sequential inline windows, and
+	// values above 1 force a pool even on one core (used by the
+	// determinism tests to exercise the phased barrier under -race).
+	// Results are byte-identical for any value.
+	WindowWorkers int
 }
 
 // Cluster is a built network.
@@ -89,6 +96,7 @@ func Build(opts Options) (*Cluster, error) {
 		netCfg.Shards = min(opts.Shards, opts.Topology.Transits)
 		netCfg.RegionOf = topo.Transit
 		netCfg.Lookahead = topo.LookaheadBound()
+		netCfg.Workers = opts.WindowWorkers
 		if netCfg.Lookahead <= 0 {
 			// Zero latency floors give the conservative scheduler no
 			// lookahead; report it here rather than panicking in simnet.

@@ -1,0 +1,129 @@
+package edwards25519
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// randScalar derives a uniformly distributed scalar from the test RNG.
+func randScalar(t *testing.T, rng *rand.Rand) *Scalar {
+	t.Helper()
+	var buf [64]byte
+	rng.Read(buf[:])
+	s, err := new(Scalar).SetUniformBytes(buf[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// randPoint returns a random multiple of the basepoint.
+func randPoint(t *testing.T, rng *rand.Rand) *Point {
+	t.Helper()
+	return new(Point).ScalarBaseMult(randScalar(t, rng))
+}
+
+// TestVarTimeDoubleBaseMultTable pins the table-reusing double-scalar
+// multiplication against the vendored VarTimeDoubleScalarBaseMult.
+func TestVarTimeDoubleBaseMultTable(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		A := randPoint(t, rng)
+		a, b := randScalar(t, rng), randScalar(t, rng)
+		want := new(Point).VarTimeDoubleScalarBaseMult(a, A, b)
+		var table VarTimeTable
+		table.Init(A)
+		got := new(Point).VarTimeDoubleBaseMultTable(a, &table, b)
+		if got.Equal(want) != 1 {
+			t.Fatalf("trial %d: table path diverges from VarTimeDoubleScalarBaseMult", trial)
+		}
+	}
+}
+
+// TestVarTimeMultiScalarBaseSum property-tests the batch primitive
+// against a naive sum of constant-time single multiplications, across
+// term counts and with short (128-bit) scalars mixed in.
+func TestVarTimeMultiScalarBaseSum(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 30; trial++ {
+		n := rng.Intn(9) // includes the empty sum
+		b := randScalar(t, rng)
+		scalars := make([]*Scalar, n)
+		tables := make([]*VarTimeTable, n)
+		want := new(Point).ScalarBaseMult(b)
+		for i := 0; i < n; i++ {
+			P := randPoint(t, rng)
+			if rng.Intn(2) == 0 {
+				var short [16]byte
+				rng.Read(short[:])
+				scalars[i] = new(Scalar).SetShortBytes(short[:])
+			} else {
+				scalars[i] = randScalar(t, rng)
+			}
+			tables[i] = new(VarTimeTable)
+			tables[i].Init(P)
+			want.Add(want, new(Point).ScalarMult(scalars[i], P))
+		}
+		got := new(Point).VarTimeMultiScalarBaseSum(b, scalars, tables, nil)
+		if got.Equal(want) != 1 {
+			t.Fatalf("trial %d (n=%d): multiscalar sum diverges from naive sum", trial, n)
+		}
+		// The scratch-buffer path must agree with the allocating path.
+		scratch := make([]Naf, n)
+		got2 := new(Point).VarTimeMultiScalarBaseSum(b, scalars, tables, scratch)
+		if got2.Equal(want) != 1 {
+			t.Fatalf("trial %d (n=%d): scratch path diverges", trial, n)
+		}
+	}
+}
+
+// TestMultByCofactor pins 8P against three explicit doublings via Add.
+func TestMultByCofactor(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		P := randPoint(t, rng)
+		want := new(Point).Set(P)
+		for i := 0; i < 3; i++ {
+			want.Add(want, want)
+		}
+		got := new(Point).MultByCofactor(P)
+		if got.Equal(want) != 1 {
+			t.Fatalf("trial %d: MultByCofactor != 8P", trial)
+		}
+	}
+}
+
+// TestSetShortBytes checks short-scalar construction against
+// SetCanonicalBytes on zero-padded input.
+func TestSetShortBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 50; trial++ {
+		short := make([]byte, 1+rng.Intn(16))
+		rng.Read(short)
+		var padded [32]byte
+		copy(padded[:], short)
+		padded[31] &= 0x0f // well below the group order
+		copy(short, padded[:len(short)])
+		want, err := new(Scalar).SetCanonicalBytes(padded[:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := new(Scalar).SetShortBytes(short)
+		if got.Equal(want) != 1 {
+			t.Fatalf("trial %d: SetShortBytes(%x) != SetCanonicalBytes(padded)", trial, short)
+		}
+	}
+}
+
+// TestBytesInto checks the allocation-free encoder against Bytes.
+func TestBytesInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		P := randPoint(t, rng)
+		var buf [32]byte
+		if !bytes.Equal(P.BytesInto(&buf), P.Bytes()) {
+			t.Fatalf("trial %d: BytesInto != Bytes", trial)
+		}
+	}
+}

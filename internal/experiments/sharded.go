@@ -27,8 +27,16 @@ import (
 // exposes it as -shards, and the determinism test sweeps it.
 var Shards = runtime.GOMAXPROCS(0)
 
+// WindowWorkers overrides the sharded engine's persistent worker pool
+// size (cluster.Options.WindowWorkers). Zero — the default — sizes the
+// pool automatically from GOMAXPROCS; the worker-pool determinism test
+// forces it above 1 so the phased barrier is exercised even on a
+// single-core host. Results are byte-identical for any value.
+var WindowWorkers = 0
+
 // sharded is a cluster.Options mutator wiring the package-level shard
 // count into a phase experiment's cluster build.
 func sharded(o *cluster.Options) {
 	o.Shards = max(1, Shards)
+	o.WindowWorkers = WindowWorkers
 }

@@ -76,6 +76,45 @@ func TestShardedDeterminismChurn(t *testing.T) {
 	}
 }
 
+// TestShardedDeterminismWorkerPool pins the persistent-worker scheduler:
+// with the pool FORCED on (WindowWorkers = shards, even on a one-core
+// host where the auto heuristic would run windows inline), E4, E9 and
+// E15 tables must stay byte-identical at shards=1, 2 and 4 — and
+// identical to the inline schedule. Run under -race in CI, this proves
+// the phased barrier and the work-stealing shard claims are properly
+// synchronized and that worker count never leaks into results.
+func TestShardedDeterminismWorkerPool(t *testing.T) {
+	defer func(oldS, oldW int) { Shards, WindowWorkers = oldS, oldW }(Shards, WindowWorkers)
+
+	for _, exp := range []string{"E4", "E9", "E15"} {
+		t.Run(exp, func(t *testing.T) {
+			if exp == "E9" && testing.Short() {
+				t.Skip("short mode")
+			}
+			var base string
+			for _, shards := range []int{1, 2, 4} {
+				Shards = shards
+				// Force the pool (at shards=1 there is nothing to pool;
+				// that run doubles as the inline reference schedule).
+				WindowWorkers = shards
+				res, err := Run(exp, Small, 42)
+				if err != nil {
+					t.Fatalf("%s at shards=%d: %v", exp, shards, err)
+				}
+				got := render(res)
+				if shards == 1 {
+					base = got
+					continue
+				}
+				if got != base {
+					t.Fatalf("%s tables diverge between shards=1 and pooled shards=%d:\n--- shards=1:\n%s\n--- shards=%d:\n%s",
+						exp, shards, base, shards, got)
+				}
+			}
+		})
+	}
+}
+
 // TestAntiEntropySavesBandwidth pins E16's headline: at the same churn
 // rate, digest-based anti-entropy moves strictly fewer maintenance bytes
 // (and messages) than the legacy push-all baseline, while keeping as

@@ -71,6 +71,11 @@ type pendingOp struct {
 	receipts []wire.StoreReceipt
 	seen     map[id.Node]bool
 	insertCB func(InsertResult)
+	// verif collects the insert's signature checks — slot 0 is the file
+	// certificate, slot i+1 is receipts[i] — and resolves them in one
+	// batch when the k-th receipt arrives (or on timeout/failure). See
+	// seccrypt.Deferred for the batch-verification semantics.
+	verif *seccrypt.Deferred
 	// lookup
 	lookupCB func(LookupResult)
 	// reclaim
@@ -83,6 +88,51 @@ type pendingOp struct {
 	// audit
 	auditWant [32]byte
 	auditCB   func(bool)
+}
+
+// flushVerif resolves the op's deferred signature checks (certificate +
+// collected receipts) in one batch and drops receipts whose signatures
+// failed, so forged receipts never count toward k. It returns the
+// number of receipts that survived and whether the certificate's own
+// signature (slot 0) held — a failed certificate must fail the whole
+// attempt, never complete it. Callers hold the node lock.
+func (op *pendingOp) flushVerif() (valid int, certOK bool) {
+	if op.verif == nil {
+		return len(op.receipts), true
+	}
+	if op.verif.Flush() {
+		return len(op.receipts), true // certificate and every receipt check out
+	}
+	// At least one check failed; the flush identified which. Drop the
+	// forged receipts (freeing their seen-slots so the genuine node can
+	// still deliver a valid receipt) and rebuild the queue so slots stay
+	// aligned with op.receipts — the re-deferred checks all resolve from
+	// the memo, so the rebuild costs no cryptography.
+	certOK = op.verif.Ok(0)
+	kept := op.receipts[:0]
+	rebuilt := seccrypt.NewDeferred()
+	rebuilt.DeferFileCertificate(&op.cert)
+	for j := range op.receipts {
+		r := &op.receipts[j]
+		if op.verif.Ok(j + 1) {
+			kept = append(kept, *r)
+			rebuilt.DeferStoreReceipt(r)
+		} else {
+			delete(op.seen, r.StoredBy.ID)
+		}
+	}
+	op.receipts = kept
+	op.verif.Release()
+	op.verif = rebuilt
+	return len(op.receipts), certOK
+}
+
+// releaseVerif returns the deferred queue to its pool.
+func (op *pendingOp) releaseVerif() {
+	if op.verif != nil {
+		op.verif.Release()
+		op.verif = nil
+	}
 }
 
 // stopTimer cancels and recycles the op's timeout. Every finished op
@@ -152,7 +202,14 @@ func (n *Node) startInsertAttempt(card *seccrypt.Smartcard, name string, data []
 		cert:     cert,
 		seen:     make(map[id.Node]bool),
 		insertCB: cb,
+		verif:    seccrypt.NewDeferred(),
 	}
+	// The certificate joins the deferred batch up front (slot 0): the
+	// flush confirms the certificate the result reports alongside the
+	// receipts, and feeds the memo other nodes consult. Usually it is
+	// already a memo hit by flush time (the root verified it), so it
+	// adds nothing to the batch equation.
+	op.verif.DeferFileCertificate(&op.cert)
 	n.armOp(reqID, op, func() {
 		n.finishInsert(reqID, ErrTimeout)
 	})
@@ -164,7 +221,13 @@ func (n *Node) startInsertAttempt(card *seccrypt.Smartcard, name string, data []
 	})
 }
 
-// clientCollectReceipt accumulates store receipts toward k.
+// clientCollectReceipt accumulates store receipts toward k. Only the
+// cheap structural checks (signer/node binding, duplicates) run per
+// receipt; the ed25519 signature joins the op's deferred batch, which
+// is flushed — certificate plus all k receipt signatures in one
+// cofactored batch check — once the k-th receipt arrives. A receipt
+// whose signature fails the flush is dropped and the insert keeps
+// waiting, so forged receipts still never count toward k.
 func (n *Node) clientCollectReceipt(m wire.StoreReceipt) {
 	n.mu.Lock()
 	op := n.pending[m.ReqID]
@@ -172,14 +235,27 @@ func (n *Node) clientCollectReceipt(m wire.StoreReceipt) {
 		n.mu.Unlock()
 		return
 	}
-	if seccrypt.VerifyStoreReceipt(&m) != nil || op.seen[m.StoredBy.ID] {
+	if seccrypt.VerifyStoreReceiptBinding(&m) != nil || op.seen[m.StoredBy.ID] {
 		n.mu.Unlock()
 		return
 	}
 	op.seen[m.StoredBy.ID] = true
 	op.receipts = append(op.receipts, m)
-	done := len(op.receipts) >= op.k
+	op.verif.DeferStoreReceipt(&op.receipts[len(op.receipts)-1])
+	done, certBad := false, false
+	if len(op.receipts) >= op.k {
+		valid, certOK := op.flushVerif()
+		done, certBad = certOK && valid >= op.k, !certOK
+	}
 	n.mu.Unlock()
+	if certBad {
+		// The flush says our own certificate's signature is invalid (a
+		// defective card): fail the attempt like a root-side rejection —
+		// refund, clean up partial replicas, maybe retry with a fresh
+		// certificate.
+		n.finishInsert(m.ReqID, fmt.Errorf("%w: file certificate failed verification", ErrRejected))
+		return
+	}
 	if done {
 		n.finishInsert(m.ReqID, nil)
 	}
@@ -207,9 +283,19 @@ func (n *Node) finishInsert(reqID uint64, cause error) {
 		return
 	}
 	delete(n.pending, reqID)
-	if cause == nil && len(op.receipts) < op.k {
-		cause = ErrTimeout
+	// Resolve any still-deferred signature checks (timeout and reject
+	// paths can arrive with the batch unflushed) so the result only ever
+	// reports verified receipts — and a certificate that failed its own
+	// signature check fails the attempt outright.
+	valid, certOK := op.flushVerif()
+	if cause == nil {
+		if !certOK {
+			cause = fmt.Errorf("%w: file certificate failed verification", ErrRejected)
+		} else if valid < op.k {
+			cause = ErrTimeout
+		}
 	}
+	op.releaseVerif()
 	n.mu.Unlock()
 	op.stopTimer()
 
@@ -303,10 +389,12 @@ func (n *Node) handleLookupReply(m wire.LookupReply) {
 	}
 	// Verify authenticity against the certificate (section 2.1: "the file
 	// certificate is returned along with the file, and allows the client
-	// to verify that the contents are authentic").
+	// to verify that the contents are authentic"). The content check
+	// bypasses the buffer-identity hash memo: this verdict goes to the
+	// user, so it must reflect the bytes as they are now.
 	if err := seccrypt.VerifyFileCertificate(n.brokerPub, &m.Cert, n.nowUnix()); err != nil {
 		res.Err = err
-	} else if err := seccrypt.VerifyContent(&m.Cert, m.Data); err != nil {
+	} else if err := seccrypt.VerifyContentFresh(&m.Cert, m.Data); err != nil {
 		res.Err = err
 	}
 	op.lookupCB(res)

@@ -1,0 +1,62 @@
+package past
+
+import (
+	"testing"
+
+	"past/internal/id"
+	"past/internal/seccrypt"
+	"past/internal/wire"
+)
+
+// TestFlushVerifRejectsBadCertificate pins the deferred-batch flush's
+// certificate verdict: when the insert's own certificate signature is
+// invalid (slot 0 of the batch), flushVerif must report certOK=false —
+// even with k structurally and cryptographically valid receipts — so
+// the client fails the attempt instead of reporting success with an
+// unverifiable certificate.
+func TestFlushVerifRejectsBadCertificate(t *testing.T) {
+	broker, err := seccrypt.NewBroker(seccrypt.DetRand(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner, err := broker.IssueCard(1<<30, 0, 0, seccrypt.DetRand(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert, err := owner.IssueFileCertificate("flush-verif-bad-cert", []byte("flush-verif probe body"), 2, []byte{7}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert.Sig[5] ^= 0xff // defective card: signature does not verify
+
+	op := &pendingOp{kind: opInsert, cert: cert, k: 2, seen: map[id.Node]bool{}, verif: seccrypt.NewDeferred()}
+	op.verif.DeferFileCertificate(&op.cert)
+	for i := uint64(0); i < 2; i++ {
+		node, err := broker.IssueCard(0, 1<<20, 0, seccrypt.DetRand(3+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := wire.StoreReceipt{FileID: cert.FileID, StoredBy: wire.NodeRef{ID: node.NodeID()}, Size: cert.Size}
+		node.SignStoreReceipt(&r)
+		if err := seccrypt.VerifyStoreReceiptBinding(&r); err != nil {
+			t.Fatal(err)
+		}
+		op.receipts = append(op.receipts, r)
+		op.seen[r.StoredBy.ID] = true
+		op.verif.DeferStoreReceipt(&op.receipts[len(op.receipts)-1])
+	}
+
+	valid, certOK := op.flushVerif()
+	if certOK {
+		t.Fatal("corrupted certificate passed the flush")
+	}
+	if valid != 2 {
+		t.Fatalf("valid receipts after flush = %d, want 2 (receipts must not be blamed for the cert)", valid)
+	}
+	// A second flush on the rebuilt queue must agree (memo-resolved).
+	valid, certOK = op.flushVerif()
+	if certOK || valid != 2 {
+		t.Fatalf("rebuilt queue disagrees: valid=%d certOK=%v", valid, certOK)
+	}
+	op.releaseVerif()
+}

@@ -2,7 +2,6 @@ package past
 
 import (
 	"crypto/ed25519"
-	"sort"
 	"sync"
 	"time"
 
@@ -25,6 +24,10 @@ type Node struct {
 
 	mu      sync.Mutex
 	pending map[uint64]*pendingOp
+	// lastSweep is when the periodic anti-entropy sweep last ran (virtual
+	// clock); see Maintain.
+	lastSweep time.Duration
+	swept     bool
 	// requested tracks anti-entropy fetches in flight (fileId → request
 	// time): when several holders offer the same missing file within one
 	// repair round, only the first offer triggers a SyncRequest, so only
@@ -76,6 +79,9 @@ func NewNode(cfg Config, pn *pastry.Node, card *seccrypt.Smartcard, brokerPub ed
 	}
 	if cfg.RequestTimeout <= 0 {
 		cfg.RequestTimeout = DefaultConfig().RequestTimeout
+	}
+	if cfg.AntiEntropyEvery <= 0 {
+		cfg.AntiEntropyEvery = DefaultConfig().AntiEntropyEvery
 	}
 	if cfg.Epoch == 0 {
 		cfg.Epoch = DefaultConfig().Epoch
@@ -224,19 +230,62 @@ func (n *Node) LeafSetChanged() {
 	n.reReplicate()
 }
 
+// Maintain implements pastry.Maintainer: a periodic anti-entropy sweep
+// piggybacked on the keep-alive timer. Event-driven re-replication
+// (LeafSetChanged) misses files whose holders' replica-set views
+// disagreed transiently — once views converge, no membership event
+// re-triggers sync and the file sits at k-1 copies (the E17 residue).
+// The sweep re-offers digests at most once per AntiEntropyEvery, so its
+// steady-state cost is a few fileId summaries per interval. Under
+// LegacyPushReplication it stays off: the legacy baseline would push
+// full bodies every sweep, which is not the scheme E16 measures.
+func (n *Node) Maintain() {
+	if n.cfg.LegacyPushReplication {
+		return
+	}
+	now := n.pn.Clock().Now()
+	n.mu.Lock()
+	if n.swept && now-n.lastSweep < n.cfg.AntiEntropyEvery {
+		n.mu.Unlock()
+		return
+	}
+	n.mu.Unlock()
+	n.reReplicate()
+}
+
 // ---------------------------------------------------------------------------
 // Insert: root side
 
 // replicaSet returns the k nodes (including possibly this one) that should
 // hold replicas of key: the numerically closest among this node and its
-// leaf set.
+// leaf set. id.Closer is a total order (ring distance, ties by id), so
+// the partial selection below returns exactly what a full sort would —
+// but with one ring-distance computation per candidate instead of two
+// per comparison, which matters because every insert and reclaim runs
+// this over the whole leaf set.
 func (n *Node) replicaSet(key id.Node, k int) []wire.NodeRef {
 	cands := append([]wire.NodeRef{n.pn.Ref()}, n.pn.LeafMembers()...)
-	sort.Slice(cands, func(a, b int) bool {
-		return id.Closer(key, cands[a].ID, cands[b].ID)
-	})
 	if k > len(cands) {
 		k = len(cands)
+	}
+	dists := make([]id.Node, len(cands))
+	for i := range cands {
+		dists[i] = cands[i].ID.Dist(key)
+	}
+	for i := 0; i < k; i++ {
+		m := i
+		for j := i + 1; j < len(cands); j++ {
+			switch dists[j].Cmp(dists[m]) {
+			case -1:
+				m = j
+			case 0:
+				if cands[j].ID.Cmp(cands[m].ID) < 0 {
+					m = j
+				}
+			}
+		}
+		cands[i], cands[m] = cands[m], cands[i]
+		dists[i], dists[m] = dists[m], dists[i]
 	}
 	return cands[:k]
 }
@@ -686,6 +735,20 @@ func syncRequestApproxBytes(files int) int64 {
 	return int64(files*id.FileBytes) + refApproxBytes
 }
 
+// markSwept records that anti-entropy ran now, so the periodic Maintain
+// sweep backs off for a full interval after ANY re-replication —
+// including event-driven ones. Without this, a keep-alive tick that
+// declares a member dead would run LeafSetChanged's sweep and then
+// immediately Maintain's, doubling the digest fan-out exactly during
+// churn bursts.
+func (n *Node) markSwept() {
+	now := n.pn.Clock().Now()
+	n.mu.Lock()
+	n.swept = true
+	n.lastSweep = now
+	n.mu.Unlock()
+}
+
 // reReplicate restores the replication invariant after a leaf-set change.
 // The default scheme is digest-based anti-entropy: send each peer that is
 // in one of our files' replica sets ONE compact summary of the fileIds it
@@ -694,6 +757,7 @@ func syncRequestApproxBytes(files int) int64 {
 // member on every change and relies on receivers to drop duplicates; it is
 // kept selectable as the bandwidth baseline for experiment E16.
 func (n *Node) reReplicate() {
+	n.markSwept()
 	self := n.pn.Ref()
 	items := n.store.Items()
 	if len(items) == 0 {

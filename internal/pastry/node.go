@@ -76,6 +76,16 @@ type App interface {
 	LeafSetChanged()
 }
 
+// Maintainer is an optional App extension. When the application layer
+// implements it, Maintain is invoked after every keep-alive round —
+// without the node lock held, like all upcalls — giving the app a
+// periodic, failure-detector-aligned hook for low-frequency background
+// maintenance (PAST schedules its anti-entropy replica sweeps on it).
+// Nodes with keep-alives disabled never call Maintain.
+type Maintainer interface {
+	Maintain()
+}
+
 // NopApp is an App that does nothing; embed it to implement only part of
 // the interface.
 type NopApp struct{}
@@ -823,6 +833,9 @@ func (n *Node) keepAliveTick() {
 	var acts []func()
 	for _, d := range dead {
 		acts = append(acts, n.declareDeadLocked(d)...)
+	}
+	if m, ok := n.app.(Maintainer); ok {
+		acts = append(acts, m.Maintain)
 	}
 	if n.kaTimer != nil {
 		n.kaTimer.Release() // this tick's handle has fired; recycle it

@@ -1,0 +1,224 @@
+package seccrypt
+
+// Batch signature verification.
+//
+// After PR 1's memoization, every DISTINCT certificate or receipt still
+// costs one full ed25519 verification, and an insert needs ~4 of them
+// (the file certificate at the root plus k store receipts at the
+// client). This file amortizes that floor two ways:
+//
+//  1. A per-public-key precomputation cache. The keys that sign PAST's
+//     hot-path traffic recur heavily (every node's smartcard signs one
+//     receipt per insert it serves), so the decompressed point and the
+//     variable-time lookup table — about a third of a single
+//     verification — are computed once per key and reused by both
+//     single and batch verification.
+//
+//  2. A cofactored batch verifier. For n signatures it checks
+//
+//       [8] ( (Σ z_i s_i) B − Σ z_i R_i − Σ z_i k_i A_i ) == identity
+//
+//     with independent random 128-bit coefficients z_i, sharing one
+//     256-step doubling chain across all terms instead of paying it per
+//     signature. If the batch equation fails, each signature is
+//     re-checked individually (identifying the forged culprit exactly),
+//     so a mixed batch degrades to the per-signature cost rather than
+//     mis-attributing blame.
+//
+// Semantics: the batch relation is the COFACTORED one, which accepts
+// every signature crypto/ed25519 accepts (honest signatures always
+// satisfy both). Single verification — including the per-item fallback
+// after a failed batch — uses exactly crypto/ed25519.Verify's
+// cofactorless equation, so negative verdicts fed into the memo are
+// bit-compatible with the stdlib. The deferred queue in deferred.go
+// builds on this verifier and connects it to the memo.
+
+import (
+	"bytes"
+	"crypto/ed25519"
+	"crypto/rand"
+	"crypto/sha512"
+	mrand "math/rand/v2"
+	"sync"
+
+	"past/internal/edwards25519"
+)
+
+// zStream supplies the random batch coefficients. A ChaCha8 stream
+// seeded once from the OS CSPRNG is cryptographically strong (it is
+// what the Go runtime itself uses for rand sources) and avoids a
+// syscall on every flush.
+var zStream struct {
+	sync.Mutex
+	cha *mrand.ChaCha8
+}
+
+func fillZ(zs []byte) {
+	zStream.Lock()
+	if zStream.cha == nil {
+		var seed [32]byte
+		if _, err := rand.Read(seed[:]); err != nil {
+			panic("seccrypt: no entropy for batch verification: " + err.Error())
+		}
+		zStream.cha = mrand.NewChaCha8(seed)
+	}
+	zStream.cha.Read(zs) //nolint:errcheck // ChaCha8.Read never fails
+	zStream.Unlock()
+}
+
+// pubKey is the cached per-public-key precomputation: the negated
+// decompressed point (verification uses -A on both the single and batch
+// paths) and its variable-time odd-multiples table.
+type pubKey struct {
+	minusA edwards25519.Point
+	table  edwards25519.VarTimeTable
+}
+
+// pubKeyCacheCap bounds the cache; one entry is ~1.8 KiB, so the cache
+// tops out around 2 MiB. Long churn runs mint cards continuously; when
+// the cap is hit the map is simply cleared (rebuild is cheap relative
+// to the verifications each entry saves).
+const pubKeyCacheCap = 1024
+
+var pubKeys struct {
+	sync.RWMutex
+	m map[[ed25519.PublicKeySize]byte]*pubKey
+}
+
+// cachedPubKey returns the precomputation for pub, building and caching
+// it on first sight. It returns nil when pub is not a valid point
+// encoding (ed25519.Verify returns false for such keys; callers must do
+// the same). pub must be exactly ed25519.PublicKeySize bytes.
+func cachedPubKey(pub []byte) *pubKey {
+	var k [ed25519.PublicKeySize]byte
+	copy(k[:], pub)
+	pubKeys.RLock()
+	e, ok := pubKeys.m[k]
+	pubKeys.RUnlock()
+	if ok {
+		return e // may be nil: invalid encodings are cached too
+	}
+	var A edwards25519.Point
+	if _, err := A.SetBytes(pub); err != nil {
+		e = nil
+	} else {
+		e = &pubKey{}
+		e.minusA.Negate(&A)
+		e.table.Init(&e.minusA)
+	}
+	pubKeys.Lock()
+	if pubKeys.m == nil || len(pubKeys.m) >= pubKeyCacheCap {
+		pubKeys.m = make(map[[ed25519.PublicKeySize]byte]*pubKey, 64)
+	}
+	pubKeys.m[k] = e
+	pubKeys.Unlock()
+	return e
+}
+
+// hramScalar computes k = SHA-512(R ‖ A ‖ M) mod l into out. The
+// concatenation goes through a pooled buffer and the one-shot Sum512,
+// which the compiler keeps off the heap (an incremental hash.Hash makes
+// the output slice escape).
+func hramScalar(out *edwards25519.Scalar, r, pub, msg []byte) {
+	bp := getBody()
+	buf := append((*bp)[:0], r...)
+	buf = append(buf, pub...)
+	buf = append(buf, msg...)
+	digest := sha512.Sum512(buf)
+	*bp = buf
+	putBody(bp)
+	out.SetUniformBytes(digest[:]) //nolint:errcheck // length is fixed at 64
+}
+
+// verifySingle checks one ed25519 signature with exactly
+// crypto/ed25519.Verify's semantics (cofactorless equation, canonical-s
+// requirement), using the per-key precomputation cache. pub and sig
+// must already have canonical sizes.
+func verifySingle(pub, msg, sig []byte) bool {
+	e := cachedPubKey(pub)
+	if e == nil {
+		return false
+	}
+	var s edwards25519.Scalar
+	if _, err := s.SetCanonicalBytes(sig[32:]); err != nil {
+		return false
+	}
+	var k edwards25519.Scalar
+	hramScalar(&k, sig[:32], pub, msg)
+	// R' = k(-A) + sB; valid iff R' re-encodes to the signature's R.
+	var R edwards25519.Point
+	R.VarTimeDoubleBaseMultTable(&k, &e.table, &s)
+	var buf [32]byte
+	return bytes.Equal(R.BytesInto(&buf), sig[:32])
+}
+
+// batchItem is one signature in a pending batch, fully parsed.
+type batchItem struct {
+	key    *pubKey
+	minusR edwards25519.Point
+	rTable edwards25519.VarTimeTable
+	s, k   edwards25519.Scalar
+}
+
+// batchScratch recycles the slices a batch flush needs, so steady-state
+// batch verification allocates nothing.
+type batchScratch struct {
+	items   []batchItem
+	scalars []edwards25519.Scalar
+	ptrs    []*edwards25519.Scalar
+	tables  []*edwards25519.VarTimeTable
+	nafs    []edwards25519.Naf
+	zs      []byte
+}
+
+var batchPool = sync.Pool{New: func() interface{} { return &batchScratch{} }}
+
+// verifyBatch checks n parsed signatures with one cofactored batch
+// equation. It reports only whether the WHOLE batch is valid; on false
+// the caller re-checks items individually.
+func verifyBatch(sc *batchScratch) bool {
+	n := len(sc.items)
+	if cap(sc.zs) < 16*n {
+		sc.zs = make([]byte, 16*n)
+	}
+	zs := sc.zs[:16*n]
+	fillZ(zs)
+	if cap(sc.scalars) < 2*n+1 {
+		sc.scalars = make([]edwards25519.Scalar, 2*n+1)
+		sc.ptrs = make([]*edwards25519.Scalar, 2*n)
+		sc.tables = make([]*edwards25519.VarTimeTable, 2*n)
+	}
+	if cap(sc.nafs) < 2*n {
+		sc.nafs = make([]edwards25519.Naf, 2*n)
+	}
+	scalars := sc.scalars[: 2*n+1 : 2*n+1]
+	ptrs := sc.ptrs[:2*n]
+	tables := sc.tables[:2*n]
+
+	// sB accumulates Σ z_i s_i for the shared basepoint term. The slot
+	// is recycled across flushes, so reset it to zero explicitly.
+	sB := &scalars[2*n]
+	*sB = edwards25519.Scalar{}
+	var z, zk edwards25519.Scalar
+	for i := range sc.items {
+		it := &sc.items[i]
+		z.SetShortBytes(zs[16*i : 16*i+16])
+		// Term z_i · (−R_i): R's coefficient stays 128 bits, halving its
+		// non-zero NAF digits.
+		scalars[2*i].Set(&z)
+		ptrs[2*i] = &scalars[2*i]
+		tables[2*i] = &it.rTable
+		// Term (z_i k_i) · (−A_i).
+		zk.Multiply(&z, &it.k)
+		scalars[2*i+1].Set(&zk)
+		ptrs[2*i+1] = &scalars[2*i+1]
+		tables[2*i+1] = &it.key.table
+		zk.Multiply(&z, &it.s)
+		sB.Add(sB, &zk)
+	}
+
+	var p edwards25519.Point
+	p.VarTimeMultiScalarBaseSum(sB, ptrs, tables, sc.nafs)
+	p.MultByCofactor(&p)
+	return p.Equal(edwards25519.NewIdentityPoint()) == 1
+}

@@ -1,0 +1,211 @@
+package seccrypt
+
+import (
+	"crypto/ed25519"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestVerifySingleMatchesStdlib property-tests the table-cached single
+// verifier against crypto/ed25519.Verify over valid, corrupted and
+// non-canonical inputs.
+func TestVerifySingleMatchesStdlib(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		pub, priv, err := ed25519.GenerateKey(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		msg := make([]byte, 1+rng.Intn(300))
+		rng.Read(msg)
+		sig := ed25519.Sign(priv, msg)
+		mutate := func(b []byte) []byte {
+			out := append([]byte(nil), b...)
+			out[rng.Intn(len(out))] ^= 1 << uint(rng.Intn(8))
+			return out
+		}
+		cases := []struct {
+			name          string
+			pub, msg, sig []byte
+		}{
+			{"valid", pub, msg, sig},
+			{"bad-sig", pub, msg, mutate(sig)},
+			{"bad-msg", pub, mutate(msg), sig},
+			{"bad-pub", mutate(pub), msg, sig},
+			{"high-s", pub, msg, func() []byte {
+				out := append([]byte(nil), sig...)
+				out[63] |= 0xe0 // push s out of canonical range
+				return out
+			}()},
+		}
+		for _, c := range cases {
+			want := ed25519.Verify(c.pub, c.msg, c.sig)
+			if got := verifySingle(c.pub, c.msg, c.sig); got != want {
+				t.Fatalf("trial %d %s: verifySingle=%v stdlib=%v", trial, c.name, got, want)
+			}
+		}
+	}
+}
+
+// TestDeferredBatchProperty cross-checks deferred batch verdicts
+// against ed25519.Verify: all-valid batches pass, forged members are
+// identified exactly, and truncated keys or signatures resolve to
+// false without panicking. Messages carry a per-trial nonce so every
+// flush misses the memo and genuinely exercises the batch equation.
+func TestDeferredBatchProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(6)
+		pubs := make([][]byte, n)
+		msgs := make([][]byte, n)
+		sigs := make([][]byte, n)
+		want := make([]bool, n)
+		for i := 0; i < n; i++ {
+			pub, priv, err := ed25519.GenerateKey(rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			msg := make([]byte, 1+rng.Intn(200))
+			rng.Read(msg)
+			msg = append(msg, []byte(fmt.Sprintf("|batch|%d|%d", trial, i))...)
+			pubs[i], msgs[i], sigs[i] = pub, msg, ed25519.Sign(priv, msg)
+		}
+		// Corrupt a random subset (possibly empty) in assorted ways.
+		for i := 0; i < n; i++ {
+			switch rng.Intn(6) {
+			case 0: // flip a signature bit
+				sigs[i][rng.Intn(64)] ^= 1 << uint(rng.Intn(8))
+			case 1: // flip a message bit
+				msgs[i][rng.Intn(len(msgs[i]))] ^= 1
+			case 2: // truncate the key
+				pubs[i] = pubs[i][:16]
+			case 3: // truncate the signature
+				sigs[i] = sigs[i][:32]
+			default: // leave valid
+			}
+			if len(pubs[i]) == ed25519.PublicKeySize {
+				want[i] = ed25519.Verify(pubs[i], msgs[i], sigs[i])
+			} else {
+				want[i] = false // deferred semantics: bad sizes are false, not a panic
+			}
+		}
+
+		d := NewDeferred()
+		for i := range pubs {
+			msg := msgs[i]
+			slot := d.Defer(pubs[i], sigs[i], func(buf []byte) []byte { return append(buf, msg...) })
+			if slot != i {
+				t.Fatalf("slot %d != %d", slot, i)
+			}
+		}
+		allWant := true
+		for _, w := range want {
+			allWant = allWant && w
+		}
+		if all := d.Flush(); all != allWant {
+			t.Fatalf("trial %d: Flush=%v want %v", trial, all, allWant)
+		}
+		for i := range want {
+			if d.Ok(i) != want[i] {
+				t.Fatalf("trial %d item %d: deferred=%v want=%v (n=%d)", trial, i, d.Ok(i), want[i], n)
+			}
+		}
+		d.Release()
+	}
+}
+
+// TestDeferredMemoFeedback asserts flushed verdicts land in the memo:
+// a later memoVerify of the same triple must hit, with the verdict the
+// batch produced.
+func TestDeferredMemoFeedback(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pub, priv, err := ed25519.GenerateKey(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("memo-feedback-nonce-v1")
+	sig := ed25519.Sign(priv, msg)
+	forged := append([]byte(nil), sig...)
+	forged[10] ^= 0x40
+
+	d := NewDeferred()
+	i := d.Defer(pub, sig, func(buf []byte) []byte { return append(buf, msg...) })
+	j := d.Defer(pub, forged, func(buf []byte) []byte { return append(buf, msg...) })
+	if d.Flush() {
+		t.Fatal("flush with a forged member reported all-ok")
+	}
+	if !d.Ok(i) || d.Ok(j) {
+		t.Fatalf("verdicts: valid=%v forged=%v", d.Ok(i), d.Ok(j))
+	}
+	d.Release()
+
+	h0, _ := MemoStats()
+	if !memoVerify(pub, msg, sig) {
+		t.Fatal("memoVerify rejected a signature the flush verified")
+	}
+	if memoVerify(pub, msg, forged) {
+		t.Fatal("memoVerify accepted the forged signature")
+	}
+	h1, _ := MemoStats()
+	if h1 != h0+2 {
+		t.Fatalf("expected two memo hits after flush feedback (hits %d -> %d)", h0, h1)
+	}
+}
+
+func BenchmarkVerifySingleCached(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	pub, priv, _ := ed25519.GenerateKey(rng)
+	msg := make([]byte, 200)
+	rng.Read(msg)
+	sig := ed25519.Sign(priv, msg)
+	if !verifySingle(pub, msg, sig) {
+		b.Fatal("bad fixture")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		verifySingle(pub, msg, sig)
+	}
+}
+
+func BenchmarkDeferredFlush(b *testing.B) {
+	for _, n := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(5))
+			pubs := make([][]byte, n)
+			sigs := make([][]byte, n)
+			msgs := make([][]byte, n)
+			privs := make([]ed25519.PrivateKey, n)
+			for i := 0; i < n; i++ {
+				pub, priv, _ := ed25519.GenerateKey(rng)
+				pubs[i], privs[i] = pub, priv
+				msgs[i] = make([]byte, 200)
+				rng.Read(msgs[i])
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for it := 0; it < b.N; it++ {
+				b.StopTimer()
+				// Fresh message per iteration so every flush really
+				// runs the batch equation instead of hitting the memo.
+				for i := 0; i < n; i++ {
+					msgs[i][0] = byte(it)
+					msgs[i][1] = byte(it >> 8)
+					msgs[i][2] = byte(it >> 16)
+					msgs[i][3] = byte(i)
+					sigs[i] = ed25519.Sign(privs[i], msgs[i])
+				}
+				b.StartTimer()
+				d := NewDeferred()
+				for i := 0; i < n; i++ {
+					msg := msgs[i]
+					d.Defer(pubs[i], sigs[i], func(buf []byte) []byte { return append(buf, msg...) })
+				}
+				if !d.Flush() {
+					b.Fatal("valid batch rejected")
+				}
+				d.Release()
+			}
+		})
+	}
+}

@@ -1,0 +1,27 @@
+package seccrypt
+
+import "testing"
+
+// TestContentHashFreshDetectsMutation pins the two halves of the
+// content-memo contract: ContentHash may serve a stale digest for a
+// mutated buffer (it exists for the immutable fan-out window), while
+// ContentHashFresh must rehash, detect the mutation, and refresh the
+// memo for subsequent callers.
+func TestContentHashFreshDetectsMutation(t *testing.T) {
+	data := []byte("content-memo mutation probe, long enough to matter")
+	h1 := ContentHash(data)
+	if ContentHash(data) != h1 {
+		t.Fatal("memoized hash not stable")
+	}
+	data[0] ^= 1
+	if ContentHash(data) != h1 {
+		t.Fatal("expected the memo to serve the (stale) cached digest for the same buffer")
+	}
+	h2 := ContentHashFresh(data)
+	if h2 == h1 {
+		t.Fatal("fresh hash failed to detect the mutation")
+	}
+	if ContentHash(data) != h2 {
+		t.Fatal("fresh hash did not refresh the memo entry")
+	}
+}

@@ -211,10 +211,6 @@ func appendFileCertBody(buf []byte, c *wire.FileCertificate) []byte {
 	return buf
 }
 
-func fileCertBody(c *wire.FileCertificate) []byte {
-	return appendFileCertBody(make([]byte, 0, 128+len(c.Salt)+len(c.OwnerPub)), c)
-}
-
 // IssueFileCertificate generates the certificate required before inserting
 // a file (section 2.1, "Generation of file certificates"). The card
 // computes the fileId from the file's textual name, the owner's public key
@@ -240,7 +236,7 @@ func (c *Smartcard) IssueFileCertificate(name string, content []byte, replicas i
 
 	cert = wire.FileCertificate{
 		FileID:      id.HashFile(name, c.pub, salt),
-		ContentHash: sha256.Sum256(content),
+		ContentHash: ContentHash(content),
 		Size:        int64(len(content)),
 		Replicas:    replicas,
 		Salt:        append([]byte(nil), salt...),
@@ -248,7 +244,11 @@ func (c *Smartcard) IssueFileCertificate(name string, content []byte, replicas i
 		OwnerPub:    append([]byte(nil), c.pub...),
 		CardCert:    c.cardCert,
 	}
-	cert.Sig = ed25519.Sign(c.priv, fileCertBody(&cert))
+	bp := getBody()
+	body := appendFileCertBody((*bp)[:0], &cert)
+	cert.Sig = ed25519.Sign(c.priv, body)
+	*bp = body
+	putBody(bp)
 	return cert, nil
 }
 
@@ -339,12 +339,24 @@ func storeReceiptBody(r *wire.StoreReceipt) []byte {
 // VerifyStoreReceipt checks a store receipt's signature and that the
 // signing card's nodeId matches the node that claims to have stored.
 func VerifyStoreReceipt(r *wire.StoreReceipt) error {
-	if len(r.NodePub) != ed25519.PublicKeySize {
-		return ErrBadSignature
+	if err := VerifyStoreReceiptBinding(r); err != nil {
+		return err
 	}
 	if !verifyBody(ed25519.PublicKey(r.NodePub), r.Sig, func(buf []byte) []byte {
 		return appendStoreReceiptBody(buf, r)
 	}) {
+		return ErrBadSignature
+	}
+	return nil
+}
+
+// VerifyStoreReceiptBinding performs the non-cryptographic half of
+// VerifyStoreReceipt: the signing key has canonical size and its hash
+// matches the node that claims to have stored. Callers deferring the
+// signature check into a batch (Deferred.DeferStoreReceipt) run this
+// part eagerly.
+func VerifyStoreReceiptBinding(r *wire.StoreReceipt) error {
+	if len(r.NodePub) != ed25519.PublicKeySize {
 		return ErrBadSignature
 	}
 	if id.HashNode(r.NodePub) != r.StoredBy.ID {
@@ -417,12 +429,32 @@ func VerifyFileCertificate(brokerPub ed25519.PublicKey, cert *wire.FileCertifica
 
 // VerifyContent checks that data matches the certificate's content hash
 // and size, detecting en-route corruption by faulty or malicious
-// intermediate nodes (section 2.1).
+// intermediate nodes (section 2.1). The hash is memoized by buffer
+// identity (see contentmemo.go): with zero-copy replication the root,
+// every replica and every caching node see the same backing buffer, so
+// the bytes are hashed once instead of once per hop.
 func VerifyContent(cert *wire.FileCertificate, data []byte) error {
+	return verifyContentWith(cert, data, false)
+}
+
+// VerifyContentFresh is VerifyContent with the memo bypassed (the bytes
+// are rehashed unconditionally). The client-side lookup check uses it:
+// it is the integrity verdict handed to the user, so it must reflect
+// the bytes as they are NOW, even if a contract-violating caller
+// mutated a shared buffer after insert.
+func VerifyContentFresh(cert *wire.FileCertificate, data []byte) error {
+	return verifyContentWith(cert, data, true)
+}
+
+func verifyContentWith(cert *wire.FileCertificate, data []byte, fresh bool) error {
 	if int64(len(data)) != cert.Size {
 		return fmt.Errorf("%w: size %d != certificate size %d", ErrContentMismatch, len(data), cert.Size)
 	}
-	if sha256.Sum256(data) != cert.ContentHash {
+	h := ContentHash
+	if fresh {
+		h = ContentHashFresh
+	}
+	if h(data) != cert.ContentHash {
 		return ErrContentMismatch
 	}
 	return nil

@@ -31,7 +31,9 @@ package simnet
 
 import (
 	"math"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"past/internal/wire"
@@ -39,6 +41,116 @@ import (
 
 // forever caps nothing: windows are bounded only by event supply.
 const forever = time.Duration(math.MaxInt64)
+
+// ---------------------------------------------------------------------------
+// Persistent worker pool
+//
+// The first sharded engine spawned one goroutine per busy shard per
+// window and joined them with a WaitGroup — up to ~10% pure coordination
+// overhead on timer-heavy runs with short windows (E9, see ROADMAP).
+// The pool below replaces that with workers that persist across windows
+// of one run session (RunFor / RunUntil / RunUntilIdle): between windows
+// they park on a channel receive; each window the coordinator publishes
+// one immutable windowJob and wakes only as many workers as there are
+// busy shards beyond the one it runs itself. Shards are claimed via an
+// atomic cursor (work-stealing within the window), and the worker that
+// finishes the last shard signals the barrier — one channel receive for
+// the coordinator instead of a WaitGroup join.
+//
+// Idle shards never cause a wakeup: the coordinator trims the busy list
+// first, runs a single busy shard inline, and on a single-core host
+// (or Workers == 1) runs every busy shard inline sequentially — shards
+// within a window are mutually independent (cross-shard sends park in
+// inboxes until the barrier), so sequential execution is just the
+// parallel schedule with one worker, and results are byte-identical
+// either way.
+//
+// A windowJob is allocated per window and never reused, so a worker
+// that wakes late (its window already finished by others) finds the
+// cursor exhausted and goes back to parking; it can never corrupt a
+// later window's state.
+
+// windowJob is one window's immutable work description.
+type windowJob struct {
+	shards    []*shard
+	horizon   time.Duration
+	inclusive bool
+	cursor    atomic.Int32
+	remaining atomic.Int32
+	done      chan struct{}
+}
+
+// run claims shards until the job is exhausted; whoever completes the
+// last shard signals the barrier.
+func (j *windowJob) run() {
+	for {
+		i := int(j.cursor.Add(1)) - 1
+		if i >= len(j.shards) {
+			return
+		}
+		j.shards[i].runTo(j.horizon, j.inclusive)
+		if j.remaining.Add(-1) == 0 {
+			j.done <- struct{}{}
+		}
+	}
+}
+
+// windowPool is the persistent worker set for one run session.
+type windowPool struct {
+	work    chan *windowJob
+	workers int // helper goroutines beyond the coordinator
+	wg      sync.WaitGroup
+}
+
+// acquireWorkers starts the pool if this Net can use one: sharded
+// engine, more than one shard, and more than one usable core (or an
+// explicit Config.Workers override). Run loops call it once per
+// session; nested sessions share via refcount.
+func (n *Net) acquireWorkers() {
+	n.poolDepth++
+	if n.poolDepth != 1 || n.pool != nil || !n.windowed || len(n.shards) < 2 {
+		return
+	}
+	w := n.cfg.Workers
+	if w == 0 {
+		w = min(runtime.GOMAXPROCS(0), len(n.shards))
+	}
+	if w <= 1 {
+		return // sequential inline execution beats parking on one core
+	}
+	if w > len(n.shards) {
+		w = len(n.shards)
+	}
+	p := &windowPool{
+		// Headroom over the per-window wake count so stale tokens from a
+		// finished window never block the coordinator's next dispatch.
+		work:    make(chan *windowJob, 4*w),
+		workers: w - 1,
+	}
+	p.wg.Add(p.workers)
+	for i := 0; i < p.workers; i++ {
+		go func() {
+			defer p.wg.Done()
+			for job := range p.work {
+				job.run()
+			}
+		}()
+	}
+	n.pool = p
+}
+
+// releaseWorkers tears the pool down at the end of the outermost run
+// session; parked workers drain the channel and exit, so an idle Net
+// owns no goroutines.
+func (n *Net) releaseWorkers() {
+	n.poolDepth--
+	if n.poolDepth != 0 || n.pool == nil {
+		return
+	}
+	close(n.pool.work)
+	n.pool.wg.Wait()
+	n.pool = nil
+}
 
 // shard is one region's slice of the simulation: an event heap, pools,
 // counters and a private clock. All fields except the inbox are owned by
@@ -231,8 +343,9 @@ func (n *Net) windowStep(limit time.Duration) (processed uint64, more bool) {
 		horizon = limit
 		inclusive = true
 	}
-	// A shard with nothing scheduled this window needs no worker: it can
-	// only receive inbox pushes, which are merged at the barrier anyway.
+	// A shard with nothing scheduled this window needs no worker — and no
+	// wakeup: it can only receive inbox pushes, which are merged at the
+	// barrier anyway.
 	busy := n.busyScratch[:0]
 	for _, s := range n.shards {
 		if s.events.Len() > 0 && (s.events.peek().at < horizon || (inclusive && s.events.peek().at == horizon)) {
@@ -243,19 +356,36 @@ func (n *Net) windowStep(limit time.Duration) (processed uint64, more bool) {
 		}
 	}
 	n.running = true
-	if len(busy) == 1 {
+	switch {
+	case len(busy) == 1:
 		busy[0].runTo(horizon, inclusive)
-	} else {
-		var wg sync.WaitGroup
-		wg.Add(len(busy) - 1)
-		for _, s := range busy[1:] {
-			go func(s *shard) {
-				defer wg.Done()
-				s.runTo(horizon, inclusive)
-			}(s)
+	case n.pool != nil:
+		// Phased barrier on the persistent pool: publish one immutable
+		// job, wake only the helpers this window can use, claim shards
+		// alongside them, then block on the single completion signal.
+		// The job owns its shard slice (a late worker may still read it
+		// after this window ends), so busyScratch is not reused for it.
+		job := &windowJob{
+			shards:    append([]*shard(nil), busy...),
+			horizon:   horizon,
+			inclusive: inclusive,
+			done:      make(chan struct{}, 1),
 		}
-		busy[0].runTo(horizon, inclusive)
-		wg.Wait()
+		job.remaining.Store(int32(len(busy)))
+		wake := min(n.pool.workers, len(busy)-1)
+		for i := 0; i < wake; i++ {
+			n.pool.work <- job
+		}
+		job.run()
+		<-job.done
+	default:
+		// No pool (single core, Workers == 1, or a bare Step outside a
+		// run session): run the busy shards sequentially inline. Shards
+		// are independent within a window, so this is the same schedule
+		// with one worker and costs no coordination at all.
+		for _, s := range busy {
+			s.runTo(horizon, inclusive)
+		}
 	}
 	n.running = false
 	n.busyScratch = busy[:0]

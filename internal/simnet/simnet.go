@@ -68,6 +68,13 @@ type Config struct {
 	// It must be derived from shard-count-independent data (e.g. topology
 	// latency bounds) or determinism across shard counts is lost.
 	Lookahead time.Duration
+	// Workers sizes the persistent window-worker pool (see shard.go).
+	// Zero picks min(GOMAXPROCS, Shards); 1 forces sequential inline
+	// window execution (what a single-core host gets anyway); higher
+	// values force a pool even on one core, which the determinism tests
+	// use to exercise the cross-goroutine handoff under -race. Results
+	// are byte-identical for any value.
+	Workers int
 }
 
 // Distance tells the simulator the proximity between two endpoints,
@@ -84,11 +91,15 @@ type Net struct {
 	// busyScratch is windowStep's reusable list of shards with work in the
 	// current window (coordinator-only).
 	busyScratch []*shard
-	windowed    bool
-	running     bool // a conservative window is executing on shard workers
-	eps         []*Endpoint
-	dist        Distance
-	traceMu     sync.Mutex
+	// pool is the persistent window-worker set of the current run
+	// session; poolDepth refcounts nested run loops (see shard.go).
+	pool      *windowPool
+	poolDepth int
+	windowed  bool
+	running   bool // a conservative window is executing on shard workers
+	eps       []*Endpoint
+	dist      Distance
+	traceMu   sync.Mutex
 	// TraceFn, if set, observes every delivered message. Under the sharded
 	// engine with more than one shard, calls are serialized by a mutex but
 	// their interleaving ACROSS shards depends on scheduling; per-endpoint
@@ -301,6 +312,10 @@ func (n *Net) Step() bool {
 // timers never go idle; use RunFor for those. Step dispatches to the
 // engine in use, so this drains legacy and sharded nets alike.
 func (n *Net) RunUntilIdle() {
+	if n.windowed {
+		n.acquireWorkers()
+		defer n.releaseWorkers()
+	}
 	for n.Step() {
 	}
 }
@@ -310,6 +325,8 @@ func (n *Net) RunUntilIdle() {
 func (n *Net) RunFor(d time.Duration) {
 	deadline := n.now + d
 	if n.windowed {
+		n.acquireWorkers()
+		defer n.releaseWorkers()
 		for {
 			if _, more := n.windowStep(deadline); !more {
 				break
@@ -344,6 +361,8 @@ func (n *Net) RunUntil(cond func() bool, maxEvents int) bool {
 		if cond() {
 			return true
 		}
+		n.acquireWorkers()
+		defer n.releaseWorkers()
 		var total uint64
 		for {
 			processed, more := n.windowStep(forever)

@@ -1,0 +1,29 @@
+package past_test
+
+import (
+	"testing"
+
+	"past"
+)
+
+// TestLookupDetectsPostInsertMutation pins the zero-copy contract's
+// failure mode: a caller who mutates the insert buffer after Insert
+// (violating the immutable-after-Send rule) must get DETECTION — a
+// content-hash mismatch on lookup — never silently corrupted bytes.
+// This guards the client-side verification against ever being routed
+// through the buffer-identity hash memo.
+func TestLookupDetectsPostInsertMutation(t *testing.T) {
+	nw, err := past.NewNetwork(past.NetworkConfig{N: 16, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("the original content that must not be silently corrupted")
+	ins, err := nw.Insert(0, nil, "probe.txt", data, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[0] = 'X' // contract violation: mutate after handing the buffer over
+	if _, err := nw.Lookup(5, ins.FileID); err == nil {
+		t.Fatal("post-insert mutation went undetected: lookup returned corrupted bytes without error")
+	}
+}
