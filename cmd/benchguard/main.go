@@ -1,20 +1,28 @@
 // Command benchguard compares a freshly measured pastbench report
-// against the committed baseline and fails (exit 1) when a watched
-// microbenchmark regressed beyond the tolerance:
+// against the committed baseline and fails (exit 1) when any watched
+// metric regressed beyond its tolerance:
 //
-//	go run ./cmd/benchguard -base BENCH_4.json -new bench-ci.json \
-//	    -bench Insert4KiB -tolerance 1.25
+//	go run ./cmd/benchguard -base BENCH_5.json -new bench-ci.json \
+//	    -watch 'Insert4KiB:1.25,Lookup4KiB:1.25,exp:E15:2.0,exp:E18:2.0'
 //
-// The tolerance is deliberately loose: shared CI containers show
+// A watch is <name>:<tolerance>. A bare name guards a microbenchmark's
+// ns/op; an "exp:<id>" name guards that experiment's Small-scale wall
+// clock (wall_ms) from the report's experiments section. Each metric
+// carries its own tolerance: experiment walls are one-shot timings (no
+// testing.B averaging), so they need a looser bound than the
+// microbenchmarks.
+//
+// Tolerances are deliberately loose: shared CI containers show
 // double-digit run-to-run noise on wall-clock numbers (BENCH_1 through
 // BENCH_3 record the same code within ±10%), so the guard is meant to
 // catch structural regressions — an accidental re-serialization, a lost
-// cache — not single-digit drift.
+// cache, adversary hooks taxing the honest path — not single-digit
+// drift.
 //
 // The baseline is machine-class sensitive: it must have been measured
 // on hardware comparable to where the guard runs. If CI moves to a
 // slower runner class, regenerate the committed baseline there
-// (go run ./cmd/pastbench -out BENCH_<n>.json) or raise -tolerance —
+// (go run ./cmd/pastbench -out BENCH_<n>.json) or raise the tolerances —
 // the allocs/op line printed below is machine-independent and tells
 // the two cases apart (unchanged allocs + slower ns/op = machine or
 // noise, not code).
@@ -25,6 +33,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 )
 
 type report struct {
@@ -33,6 +43,10 @@ type report struct {
 		NsPerOp     float64 `json:"ns_per_op"`
 		AllocsPerOp int64   `json:"allocs_per_op"`
 	} `json:"benchmarks"`
+	Experiments []struct {
+		ID     string  `json:"id"`
+		WallMs float64 `json:"wall_ms"`
+	} `json:"experiments"`
 }
 
 func load(path string) (*report, error) {
@@ -56,13 +70,65 @@ func (r *report) ns(name string) (float64, int64, bool) {
 	return 0, 0, false
 }
 
+func (r *report) wallMs(id string) (float64, bool) {
+	for _, e := range r.Experiments {
+		if e.ID == id {
+			return e.WallMs, true
+		}
+	}
+	return 0, false
+}
+
+// watch is one guarded metric: a microbenchmark's ns/op, or (when exp
+// is set) an experiment's wall_ms.
+type watch struct {
+	name string
+	tol  float64
+	exp  bool
+}
+
+func parseWatches(spec string) ([]watch, error) {
+	var out []watch
+	for _, item := range strings.Split(spec, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		w := watch{}
+		if rest, ok := strings.CutPrefix(item, "exp:"); ok {
+			w.exp = true
+			item = rest
+		}
+		name, tolStr, ok := strings.Cut(item, ":")
+		if !ok {
+			return nil, fmt.Errorf("watch %q: want <name>:<tolerance>", item)
+		}
+		tol, err := strconv.ParseFloat(tolStr, 64)
+		if err != nil || tol <= 0 {
+			return nil, fmt.Errorf("watch %q: bad tolerance %q", item, tolStr)
+		}
+		w.name, w.tol = name, tol
+		out = append(out, w)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty watch list")
+	}
+	return out, nil
+}
+
 func main() {
-	base := flag.String("base", "BENCH_4.json", "committed baseline report")
+	base := flag.String("base", "BENCH_5.json", "committed baseline report")
 	fresh := flag.String("new", "bench-ci.json", "freshly measured report")
-	bench := flag.String("bench", "Insert4KiB", "comma-free benchmark name to watch")
-	tol := flag.Float64("tolerance", 1.25, "fail when new ns/op exceeds base ns/op times this")
+	watches := flag.String("watch",
+		"Insert4KiB:1.25,Lookup4KiB:1.25,exp:E15:2.0,exp:E18:2.0",
+		"comma-separated <name>:<tolerance> metrics; prefix exp: guards an experiment's wall_ms")
 	flag.Parse()
 
+	ws, err := parseWatches(*watches)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(2)
+	}
 	baseRep, err := load(*base)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchguard:", err)
@@ -73,22 +139,50 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchguard:", err)
 		os.Exit(2)
 	}
-	b, bAllocs, ok := baseRep.ns(*bench)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "benchguard: %s missing from %s\n", *bench, *base)
-		os.Exit(2)
+
+	failed := 0
+	for _, w := range ws {
+		if w.exp {
+			b, ok := baseRep.wallMs(w.name)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "benchguard: experiment %s missing from %s\n", w.name, *base)
+				os.Exit(2)
+			}
+			f, ok := freshRep.wallMs(w.name)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "benchguard: experiment %s missing from %s\n", w.name, *fresh)
+				os.Exit(2)
+			}
+			ratio := f / b
+			fmt.Printf("benchguard: exp:%s baseline %.0f ms, fresh %.0f ms (%.2fx, tolerance %.2fx)\n",
+				w.name, b, f, ratio, w.tol)
+			if ratio > w.tol {
+				fmt.Fprintf(os.Stderr, "benchguard: REGRESSION: exp:%s wall clock is %.2fx the committed baseline (limit %.2fx)\n",
+					w.name, ratio, w.tol)
+				failed++
+			}
+			continue
+		}
+		b, bAllocs, ok := baseRep.ns(w.name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchguard: %s missing from %s\n", w.name, *base)
+			os.Exit(2)
+		}
+		f, fAllocs, ok := freshRep.ns(w.name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchguard: %s missing from %s\n", w.name, *fresh)
+			os.Exit(2)
+		}
+		ratio := f / b
+		fmt.Printf("benchguard: %s baseline %.0f ns/op / %d allocs, fresh %.0f ns/op / %d allocs (%.2fx, tolerance %.2fx)\n",
+			w.name, b, bAllocs, f, fAllocs, ratio, w.tol)
+		if ratio > w.tol {
+			fmt.Fprintf(os.Stderr, "benchguard: REGRESSION: %s is %.2fx the committed baseline (limit %.2fx)\n",
+				w.name, ratio, w.tol)
+			failed++
+		}
 	}
-	f, fAllocs, ok := freshRep.ns(*bench)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "benchguard: %s missing from %s\n", *bench, *fresh)
-		os.Exit(2)
-	}
-	ratio := f / b
-	fmt.Printf("benchguard: %s baseline %.0f ns/op / %d allocs, fresh %.0f ns/op / %d allocs (%.2fx, tolerance %.2fx)\n",
-		*bench, b, bAllocs, f, fAllocs, ratio, *tol)
-	if ratio > *tol {
-		fmt.Fprintf(os.Stderr, "benchguard: REGRESSION: %s is %.2fx the committed baseline (limit %.2fx)\n",
-			*bench, ratio, *tol)
+	if failed > 0 {
 		os.Exit(1)
 	}
 }

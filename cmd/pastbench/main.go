@@ -98,7 +98,7 @@ func record(name string, f func(b *testing.B)) BenchResult {
 
 func main() {
 	out := flag.String("out", "BENCH_1.json", "output JSON path")
-	expIDs := flag.String("experiments", "E1,E4,E10,E15,E16,E17", "comma-separated experiment ids to time (empty disables)")
+	expIDs := flag.String("experiments", "E1,E4,E10,E15,E16,E17,E18,E19,E20,E21", "comma-separated experiment ids to time (empty disables)")
 	shards := flag.Int("shards", experiments.Shards,
 		"simulation shards for the phase experiments (byte-identical results; parallelism only)")
 	matrixExps := flag.String("matrix-exps", "E4,E9",

@@ -23,6 +23,15 @@ const (
 	Arrive Kind = iota
 	Leave
 	Crash
+	// Outage silently crashes every live node in one transit domain at
+	// once — a correlated regional failure (router outage, partition).
+	// For Outage and Heal events, Event.Node names the transit domain,
+	// not a node index.
+	Outage
+	// Heal restarts exactly the nodes the matching Outage took down that
+	// are still down (partition rejoin); each runs the recovery protocol
+	// against its last known leaf set.
+	Heal
 )
 
 // String returns the trace-format name of the kind.
@@ -34,6 +43,10 @@ func (k Kind) String() string {
 		return "leave"
 	case Crash:
 		return "crash"
+	case Outage:
+		return "outage"
+	case Heal:
+		return "heal"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
@@ -47,6 +60,10 @@ func parseKind(s string) (Kind, error) {
 		return Leave, nil
 	case "crash":
 		return Crash, nil
+	case "outage":
+		return Outage, nil
+	case "heal":
+		return Heal, nil
 	}
 	return 0, fmt.Errorf("churn: unknown event kind %q", s)
 }
@@ -301,6 +318,8 @@ type Stats struct {
 	Leaves      int // graceful departures applied
 	Crashes     int // silent crashes applied
 	Skipped     int // departures skipped (node already down or MinLive floor)
+	Outages     int // regional outages applied
+	Heals       int // regional heals applied
 }
 
 // Driver replays a Trace onto a running cluster. All work happens on the
@@ -317,11 +336,20 @@ type Driver struct {
 	MinLive int
 	// OnEvent, if set, observes each applied event after it takes effect;
 	// node is the actual cluster index (for arrivals, the index AddNode
-	// assigned).
+	// assigned; for outages and heals, the transit domain).
 	OnEvent func(ev Event, node int)
+	// AsyncJoins applies arrivals without blocking: the join protocol
+	// proceeds while the foreground workload runs, and completed joins
+	// are folded in at the next Advance or CatchUp barrier. A node's
+	// join can then overlap other events — the fidelity real churn has —
+	// at the cost of Stats.Arrivals lagging until the join resolves.
+	AsyncJoins bool
 
 	Stats Stats
 	next  int
+	// outaged remembers, per transit domain, which nodes the last Outage
+	// took down, so Heal restarts exactly those.
+	outaged map[int][]int
 }
 
 // NewDriver binds a trace to a cluster.
@@ -337,6 +365,7 @@ func (d *Driver) Done() bool { return d.next >= len(d.Trace.Events) }
 // time has already passed (because a synchronous workload operation ran
 // the clock ahead) are applied immediately; lateness is deterministic.
 func (d *Driver) Advance(t time.Duration) {
+	d.resolveJoins()
 	for d.next < len(d.Trace.Events) {
 		ev := d.Trace.Events[d.next]
 		if ev.At > t {
@@ -345,12 +374,22 @@ func (d *Driver) Advance(t time.Duration) {
 		if now := d.C.Net.Now(); ev.At > now {
 			d.C.Net.RunFor(ev.At - now)
 		}
+		d.resolveJoins()
 		d.next++
 		d.apply(ev)
 	}
 	if now := d.C.Net.Now(); t > now {
 		d.C.Net.RunFor(t - now)
 	}
+	d.resolveJoins()
+}
+
+// resolveJoins folds completed asynchronous joins into the stats. It is
+// a no-op unless AsyncJoins started some.
+func (d *Driver) resolveJoins() {
+	joined, failed := d.C.ResolveJoins()
+	d.Stats.Arrivals += len(joined)
+	d.Stats.FailedJoins += failed
 }
 
 // CatchUp applies events whose time has already passed without advancing
@@ -362,6 +401,10 @@ func (d *Driver) apply(ev Event) {
 	node := ev.Node
 	switch ev.Kind {
 	case Arrive:
+		if d.AsyncJoins {
+			node = d.C.AddNodeAsync()
+			break // counted in resolveJoins once the join resolves
+		}
 		idx, err := d.C.AddNode()
 		if err != nil {
 			d.Stats.FailedJoins++
@@ -369,6 +412,31 @@ func (d *Driver) apply(ev Event) {
 		}
 		d.Stats.Arrivals++
 		node = idx
+	case Outage:
+		var hit []int
+		for i := range d.C.Nodes {
+			if d.C.LiveCount() <= d.MinLive {
+				break
+			}
+			if d.C.Down(i) || d.C.Topo.Transit(i) != ev.Node {
+				continue
+			}
+			d.C.Crash(i)
+			hit = append(hit, i)
+		}
+		if d.outaged == nil {
+			d.outaged = make(map[int][]int)
+		}
+		d.outaged[ev.Node] = append(d.outaged[ev.Node], hit...)
+		d.Stats.Outages++
+	case Heal:
+		for _, i := range d.outaged[ev.Node] {
+			if d.C.Down(i) {
+				d.C.Restart(i)
+			}
+		}
+		delete(d.outaged, ev.Node)
+		d.Stats.Heals++
 	case Leave, Crash:
 		if node >= len(d.C.Nodes) || d.C.Down(node) || d.C.LiveCount() <= d.MinLive {
 			d.Stats.Skipped++

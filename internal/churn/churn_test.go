@@ -279,3 +279,108 @@ func TestDriverSkipsAndFloors(t *testing.T) {
 		t.Fatalf("LiveCount = %d, want 7", h.LiveCount())
 	}
 }
+
+func (h *harness) lookup(t testing.TB, node int, f id.File) past.LookupResult {
+	t.Helper()
+	var res *past.LookupResult
+	h.pnodes[node].Lookup(f, func(r past.LookupResult) { res = &r })
+	h.Net.RunUntil(func() bool { return res != nil }, 50_000_000)
+	if res == nil {
+		t.Fatalf("lookup %v never completed", f)
+	}
+	return *res
+}
+
+// TestAsyncJoinsDuringWorkload pins churn-join fidelity: with
+// Driver.AsyncJoins set, an arrival starts its join protocol without
+// blocking the driver, the foreground workload keeps inserting and
+// looking up files while the join is still pending, and once the
+// network runs the join resolves — Stats.Arrivals catches up, the
+// pending count drains to zero and the newcomer is live and routable.
+func TestAsyncJoinsDuringWorkload(t *testing.T) {
+	const n = 16
+	tr, err := churn.Parse(`
+1s arrive 16
+2s crash 3
+3s arrive 17
+4s arrive 18
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := buildHarness(t, n, 44, 0)
+	var files []id.File
+	for i := 0; i < 4; i++ {
+		files = append(files, h.insert(t, i, fmt.Sprintf("pre-%d", i), make([]byte, 1024)))
+	}
+
+	d := churn.NewDriver(h.Cluster, tr)
+	d.AsyncJoins = true
+
+	// liveNode picks the first live original node at or after i: clients
+	// must be up — a crashed node runs no code, so a lookup issued from
+	// one would never call back.
+	liveNode := func(i int) int {
+		for j := 0; j < n; j++ {
+			if !h.Down((i + j) % n) {
+				return (i + j) % n
+			}
+		}
+		t.Fatal("no live node")
+		return -1
+	}
+
+	// Stop exactly at the first arrival: the join has been started but
+	// the network has not run since, so it cannot have resolved yet.
+	d.Advance(1 * time.Second)
+	if got := h.PendingJoins(); got != 1 {
+		t.Fatalf("PendingJoins = %d right after the arrival, want 1 (join must not block)", got)
+	}
+	if d.Stats.Arrivals != 0 {
+		t.Fatalf("Stats.Arrivals = %d before the join resolved, want 0", d.Stats.Arrivals)
+	}
+
+	// Foreground workload proceeds while the join is in flight.
+	files = append(files, h.insert(t, 5, "mid-join", make([]byte, 1024)))
+	for i, f := range files {
+		if lr := h.lookup(t, liveNode(i+7), f); lr.Err != nil {
+			t.Fatalf("lookup %d during pending join: %v", i, lr.Err)
+		}
+	}
+
+	// Drive the rest of the trace tick by tick with workload interleaved,
+	// the way the experiments use the driver.
+	for at := 2 * time.Second; at <= 5*time.Second; at += time.Second {
+		d.Advance(at)
+		for i, f := range files {
+			if lr := h.lookup(t, liveNode(int(at/time.Second)+i), f); lr.Err != nil {
+				t.Fatalf("lookup %d at t=%s: %v", i, at, lr.Err)
+			}
+		}
+	}
+	h.RunSettle(5 * time.Second)
+	d.CatchUp()
+
+	if !d.Done() {
+		t.Fatal("driver did not finish the trace")
+	}
+	if h.PendingJoins() != 0 {
+		t.Fatalf("PendingJoins = %d after settle, want 0", h.PendingJoins())
+	}
+	if d.Stats.Arrivals != 3 {
+		t.Fatalf("Stats.Arrivals = %d, want 3 (all async joins resolved)", d.Stats.Arrivals)
+	}
+	if got, want := h.LiveCount(), n+3-1; got != want {
+		t.Fatalf("LiveCount = %d, want %d (three arrivals, one crash)", got, want)
+	}
+	// The newcomers are live and must be routable: a lookup issued from
+	// each joined node succeeds.
+	for _, newcomer := range []int{16, 17, 18} {
+		if h.Down(newcomer) {
+			t.Fatalf("node %d still down after its async join resolved", newcomer)
+		}
+		if lr := h.lookup(t, newcomer, files[0]); lr.Err != nil {
+			t.Fatalf("lookup from joined node %d: %v", newcomer, lr.Err)
+		}
+	}
+}

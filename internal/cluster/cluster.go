@@ -65,6 +65,14 @@ type Cluster struct {
 	down   map[int]bool
 	byID   map[id.Node]int // id -> cluster index, kept current across add/crash/leave
 	probes bool            // EnableProbes was called; install on nodes added later too
+	joins  []*joinState    // asynchronous joins not yet resolved
+}
+
+// joinState tracks one AddNodeAsync join until ResolveJoins folds it in.
+type joinState struct {
+	idx  int
+	done bool
+	err  error
 }
 
 // Build constructs and joins an N-node network. It returns an error if any
@@ -122,7 +130,9 @@ func Build(opts Options) (*Cluster, error) {
 	return c, nil
 }
 
-func (c *Cluster) addNode(i int) error {
+// newNode constructs node i (topology slot, endpoint, pastry node, app)
+// without joining it.
+func (c *Cluster) newNode(i int) *pastry.Node {
 	c.Topo.Place()
 	ep := c.Net.NewEndpoint()
 	nid := id.Rand(uint64(c.Opts.Seed)<<20 + uint64(i))
@@ -147,7 +157,11 @@ func (c *Cluster) addNode(i int) error {
 	if c.probes {
 		c.installProbe(i)
 	}
+	return nd
+}
 
+func (c *Cluster) addNode(i int) error {
+	nd := c.newNode(i)
 	if i == 0 {
 		nd.Bootstrap()
 		return nil
@@ -205,6 +219,71 @@ func (c *Cluster) AddNode() (int, error) {
 	c.rebuildOracle()
 	return i, nil
 }
+
+// AddNodeAsync starts one brand-new node's join WITHOUT advancing virtual
+// time: the join protocol proceeds concurrently with whatever foreground
+// workload the caller runs next. The node stays hidden from the oracle
+// and the workload (Down reports true) until ResolveJoins observes its
+// join callback and folds it in. Like all Cluster mutators it must be
+// called from the coordinating goroutine between simulation runs. It
+// returns the new node's index.
+func (c *Cluster) AddNodeAsync() int {
+	i := len(c.Nodes)
+	nd := c.newNode(i)
+	if i == 0 {
+		nd.Bootstrap()
+		c.rebuildOracle()
+		return i
+	}
+	seed := c.nearbyNode(i)
+	st := &joinState{idx: i}
+	c.joins = append(c.joins, st)
+	// Hidden until the join resolves; a failed join then never becomes
+	// visible at all.
+	c.down[i] = true
+	nd.Join(simnet.Addr(seed), func(err error) {
+		st.done = true
+		st.err = err
+	})
+	return i
+}
+
+// ResolveJoins folds completed asynchronous joins into the cluster:
+// successful joiners become visible to the oracle and the workload;
+// failed ones (the join timed out — possible under heavy churn) are
+// quarantined exactly like AddNode failures. Call between simulation
+// runs; joins still in flight are left pending. It returns the indices
+// that joined successfully and the number that failed.
+func (c *Cluster) ResolveJoins() (joined []int, failed int) {
+	if len(c.joins) == 0 {
+		return nil, 0
+	}
+	rest := c.joins[:0]
+	for _, st := range c.joins {
+		switch {
+		case !st.done:
+			rest = append(rest, st)
+		case st.err != nil:
+			c.Eps[st.idx].Crash()
+			c.Nodes[st.idx].Leave()
+			failed++ // stays down
+		default:
+			delete(c.down, st.idx)
+			joined = append(joined, st.idx)
+		}
+	}
+	for i := len(rest); i < len(c.joins); i++ {
+		c.joins[i] = nil
+	}
+	c.joins = rest
+	if len(joined) > 0 || failed > 0 {
+		c.rebuildOracle()
+	}
+	return joined, failed
+}
+
+// PendingJoins reports how many asynchronous joins have not resolved yet.
+func (c *Cluster) PendingJoins() int { return len(c.joins) }
 
 // Leave removes node i gracefully: the node announces its departure to
 // its leaf set (so peers repair and re-replicate immediately), then its

@@ -74,6 +74,10 @@ var registry = []struct {
 	{"E15", E15ChurnAvailability},
 	{"E16", E16MaintenanceBandwidth},
 	{"E17", E17ReplicaDurability},
+	{"E18", E18AdversarialLookups},
+	{"E19", E19ReceiptContainment},
+	{"E20", E20RegionalOutage},
+	{"E21", E21FlashCrowd},
 	{"A1", A1ParameterAblation},
 	{"A2", A2DiversionAblation},
 }

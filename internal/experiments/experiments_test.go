@@ -34,8 +34,8 @@ func TestUnknownExperiment(t *testing.T) {
 
 func TestIDsComplete(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 19 {
-		t.Fatalf("expected 19 experiments, have %d: %v", len(ids), ids)
+	if len(ids) != 23 {
+		t.Fatalf("expected 23 experiments, have %d: %v", len(ids), ids)
 	}
 	seen := map[string]bool{}
 	for _, i := range ids {

@@ -3,6 +3,7 @@ package past
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"past/internal/id"
 	"past/internal/seccrypt"
@@ -244,7 +245,9 @@ func (n *Node) clientCollectReceipt(m wire.StoreReceipt) {
 	op.verif.DeferStoreReceipt(&op.receipts[len(op.receipts)-1])
 	done, certBad := false, false
 	if len(op.receipts) >= op.k {
+		before := len(op.receipts)
 		valid, certOK := op.flushVerif()
+		n.stats.ForgedReceiptsDropped += before - valid
 		done, certBad = certOK && valid >= op.k, !certOK
 	}
 	n.mu.Unlock()
@@ -287,7 +290,9 @@ func (n *Node) finishInsert(reqID uint64, cause error) {
 	// paths can arrive with the batch unflushed) so the result only ever
 	// reports verified receipts — and a certificate that failed its own
 	// signature check fails the attempt outright.
+	before := len(op.receipts)
 	valid, certOK := op.flushVerif()
+	n.stats.ForgedReceiptsDropped += before - valid
 	if cause == nil {
 		if !certOK {
 			cause = fmt.Errorf("%w: file certificate failed verification", ErrRejected)
@@ -325,6 +330,14 @@ func (n *Node) finishInsert(reqID uint64, cause error) {
 		}
 	}
 	if n.cfg.FileDiversion && op.retries < n.cfg.MaxRetries {
+		if d := n.retryDelay(op.retries + 1); d > 0 {
+			var t transport.Timer
+			t = n.pn.Clock().AfterFunc(d, func() {
+				t.Release()
+				n.startInsertAttempt(op.card, op.name, op.data, op.k, op.retries+1, op.insertCB)
+			})
+			return
+		}
 		n.startInsertAttempt(op.card, op.name, op.data, op.k, op.retries+1, op.insertCB)
 		return
 	}
@@ -345,19 +358,69 @@ func (n *Node) finishInsert(reqID uint64, cause error) {
 
 // Lookup retrieves the file with the given fileId. The callback fires
 // exactly once; the returned certificate lets the caller verify content
-// authenticity (done here as well).
+// authenticity (done here as well). When Config.LookupRetries > 0, a
+// timed-out or hop-budget-aborted attempt is retried with capped
+// exponential backoff, each retry entering the overlay through a
+// different neighbor (route diversity).
 func (n *Node) Lookup(fileID id.File, cb func(LookupResult)) {
+	n.startLookupAttempt(fileID, 0, cb)
+}
+
+// retryDelay returns how long to wait before retry attempt (>= 1):
+// RetryBackoff doubling per attempt, capped at 8× the base.
+func (n *Node) retryDelay(attempt int) time.Duration {
+	if n.cfg.RetryBackoff <= 0 || attempt <= 0 {
+		return 0
+	}
+	shift := attempt - 1
+	if shift > 3 {
+		shift = 3
+	}
+	return n.cfg.RetryBackoff << shift
+}
+
+// scheduleLookupAttempt starts attempt now or after the backoff delay.
+func (n *Node) scheduleLookupAttempt(fileID id.File, attempt int, cb func(LookupResult)) {
+	d := n.retryDelay(attempt)
+	if d <= 0 {
+		n.startLookupAttempt(fileID, attempt, cb)
+		return
+	}
+	var t transport.Timer
+	t = n.pn.Clock().AfterFunc(d, func() {
+		t.Release()
+		n.startLookupAttempt(fileID, attempt, cb)
+	})
+}
+
+// startLookupAttempt issues one lookup attempt. The first attempt routes
+// normally; retries enter the ring via a different neighbor each time, so
+// the randomized routes of section 2.2 explore paths that avoid whatever
+// dropped or misrouted the previous attempt.
+func (n *Node) startLookupAttempt(fileID id.File, attempt int, cb func(LookupResult)) {
 	reqID := n.newReqID()
-	op := &pendingOp{kind: opLookup, fileID: fileID, lookupCB: cb}
+	op := &pendingOp{kind: opLookup, fileID: fileID, retries: attempt, lookupCB: cb}
 	n.armOp(reqID, op, func() {
 		n.mu.Lock()
 		still := n.pending[reqID]
 		delete(n.pending, reqID)
-		n.mu.Unlock()
+		canRetry := still != nil && attempt < n.cfg.LookupRetries
 		if still != nil {
-			still.stopTimer() // fired: Stop is a no-op, Release recycles
-			cb(LookupResult{Err: ErrTimeout})
+			n.stats.DropsSuspected++
+			if canRetry {
+				n.stats.LookupRetries++
+			}
 		}
+		n.mu.Unlock()
+		if still == nil {
+			return
+		}
+		still.stopTimer() // fired: Stop is a no-op, Release recycles
+		if canRetry {
+			n.scheduleLookupAttempt(fileID, attempt+1, cb)
+			return
+		}
+		cb(LookupResult{Err: ErrTimeout})
 	})
 	req := wire.LookupRequest{FileID: fileID, Client: n.pn.Ref(), ReqID: reqID, PrevHop: n.pn.Ref()}
 	// Serve locally when possible: a routed message to a key we own never
@@ -366,7 +429,104 @@ func (n *Node) Lookup(fileID id.File, cb func(LookupResult)) {
 	if n.serveLookup(&r, req, false) {
 		return
 	}
+	if attempt > 0 && n.routeDiverse(fileID, req, attempt) {
+		return
+	}
 	n.pn.Route(fileID.Key(), req)
+}
+
+// routeDiverse injects the request into the overlay through a neighbor
+// instead of this node's own routing tables: the entry node routes onward
+// by ITS tables, so consecutive attempts traverse different paths even
+// when this node's best next hop is malicious. The entry choice comes
+// from the node's own seeded stream, keeping tables deterministic.
+func (n *Node) routeDiverse(fileID id.File, req wire.LookupRequest, attempt int) bool {
+	cands := append(n.pn.LeafMembers(), n.pn.NeighborhoodMembers()...)
+	live := cands[:0]
+	for _, ref := range cands {
+		if ref.ID != n.pn.ID() && n.pn.Reachable(ref) {
+			live = append(live, ref)
+		}
+	}
+	if len(live) == 0 {
+		return false
+	}
+	entry := live[int(n.pn.Rand()%uint64(len(live)))]
+	key := fileID.Key()
+	if attempt >= 2 {
+		// Path diversity alone cannot defeat a malicious ROOT: every
+		// attempt converges on the same numerically-closest node. From the
+		// second retry on, scatter the routing key within the replica
+		// neighborhood so the probe is delivered to a different replica-set
+		// member; any holder it lands on serves the true fileId carried in
+		// the payload, and a miss just triggers the next attempt.
+		key = n.scatterKey(key)
+	}
+	r := wire.Routed{
+		Key:      key,
+		Payload:  req,
+		Origin:   n.pn.Ref(),
+		Hops:     1,
+		Distance: n.pn.Proximity(entry.Addr),
+		Nonce:    n.pn.Rand(),
+	}
+	n.pn.Send(entry, r)
+	return true
+}
+
+// scatterKey perturbs a lookup's routing key by a random fraction of the
+// node's own leaf-set span — the client's only estimate of ring density —
+// so consecutive attempts land on different members of the key's replica
+// neighborhood instead of always the same root. Deltas range from about
+// half the leaf-set span down to a sixteenth of it, i.e. from a few node
+// spacings down to a fraction of one.
+func (n *Node) scatterKey(key id.Node) id.Node {
+	span := id.Zero
+	for _, ref := range n.pn.LeafMembers() {
+		if d := n.pn.ID().Dist(ref.ID); span.Less(d) {
+			span = d
+		}
+	}
+	if span.IsZero() {
+		return key
+	}
+	r := n.pn.Rand()
+	delta := span
+	for s := 3 + (r & 3); s > 0; s-- {
+		delta = delta.Rsh1()
+	}
+	if delta.IsZero() {
+		return key
+	}
+	if r&4 != 0 {
+		return key.Add(delta)
+	}
+	return key.Sub(delta)
+}
+
+// handleLookupAbort processes a hop-budget abort: strong evidence the
+// previous route was tampered with, so the retry goes out immediately
+// (no backoff — the abort already cost real time).
+func (n *Node) handleLookupAbort(m wire.LookupAbort) {
+	n.mu.Lock()
+	op := n.pending[m.ReqID]
+	if op == nil || op.kind != opLookup {
+		n.mu.Unlock()
+		return
+	}
+	delete(n.pending, m.ReqID)
+	n.stats.MisrouteDetections++
+	canRetry := op.retries < n.cfg.LookupRetries
+	if canRetry {
+		n.stats.LookupRetries++
+	}
+	n.mu.Unlock()
+	op.stopTimer()
+	if canRetry {
+		n.startLookupAttempt(op.fileID, op.retries+1, op.lookupCB)
+		return
+	}
+	op.lookupCB(LookupResult{Err: ErrTimeout})
 }
 
 func (n *Node) handleLookupReply(m wire.LookupReply) {
@@ -408,8 +568,20 @@ func (n *Node) handleLookupMiss(m wire.LookupMiss) {
 		return
 	}
 	delete(n.pending, m.ReqID)
+	// Under the adversarial config a miss is not authoritative: a scattered
+	// retry may have probed a neighborhood member outside the replica set,
+	// and a malicious root may simply lie. Retry while attempts remain;
+	// with LookupRetries=0 (the default) a miss still fails immediately.
+	canRetry := op.retries < n.cfg.LookupRetries
+	if canRetry {
+		n.stats.LookupRetries++
+	}
 	n.mu.Unlock()
 	op.stopTimer()
+	if canRetry {
+		n.scheduleLookupAttempt(op.fileID, op.retries+1, op.lookupCB)
+		return
+	}
 	op.lookupCB(LookupResult{Err: ErrNotFound})
 }
 

@@ -48,6 +48,24 @@ type Config struct {
 	// RequestTimeout bounds how long a client operation waits for
 	// receipts or a reply.
 	RequestTimeout time.Duration
+	// LookupRetries is the number of additional lookup attempts after
+	// the first fails by timeout or hop-budget abort. Retries re-enter
+	// the overlay through a different neighbor each time (route
+	// diversity, per the randomized-routing argument of section 2.2), so
+	// a malicious node on the first path is unlikely to sit on the
+	// second. Zero (the default) keeps the original single-attempt
+	// behaviour and costs nothing.
+	LookupRetries int
+	// RetryBackoff is the base delay before retry attempt i: a capped
+	// exponential backoff×2^(i-1), capped at 8×backoff. Zero retries
+	// immediately. The same discipline paces insert's file-diversion
+	// retries.
+	RetryBackoff time.Duration
+	// HopBudget bounds overlay forwarding hops for lookups: a node asked
+	// to forward a lookup whose hop count has reached the budget aborts
+	// it back to the client (misroute containment) instead of forwarding
+	// further. Zero disables the check.
+	HopBudget int
 	// AntiEntropyEvery is the minimum interval between periodic
 	// anti-entropy sweeps. Event-driven maintenance (LeafSetChanged)
 	// repairs most membership changes immediately, but when two peers'

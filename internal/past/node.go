@@ -22,6 +22,11 @@ type Node struct {
 	store     *storage.Store
 	cache     *storage.Cache
 
+	// mischief, when set, makes this node cheat on storage (experiment
+	// harness only; see SetMischief). Configured before the node handles
+	// traffic, read-only afterwards.
+	mischief Mischief
+
 	mu      sync.Mutex
 	pending map[uint64]*pendingOp
 	// lastSweep is when the periodic anti-entropy sweep last ran (virtual
@@ -52,6 +57,18 @@ type Stats struct {
 	LookupsServed   int
 	CacheServes     int
 	PointerFollowed int
+
+	// Client-side resilience counters. DropsSuspected counts lookup
+	// attempts that timed out (the signature of a dropper on the path);
+	// MisrouteDetections counts hop-budget aborts received;
+	// ForgedReceiptsDropped counts store receipts discarded because their
+	// signature failed batch verification. RouteAborts counts lookups
+	// this node refused to forward past the hop budget (server side).
+	LookupRetries         int
+	DropsSuspected        int
+	MisrouteDetections    int
+	RouteAborts           int
+	ForgedReceiptsDropped int
 
 	// Replica-maintenance traffic sent by this node (anti-entropy digests
 	// and requests, plus Replicate bodies under either scheme).
@@ -96,6 +113,9 @@ func NewNode(cfg Config, pn *pastry.Node, card *seccrypt.Smartcard, brokerPub ed
 		pending:   make(map[uint64]*pendingOp),
 		requested: make(map[id.File]time.Duration),
 	}
+	// Start the cache tier under the same rule syncCache maintains: cache
+	// space is the storage not used by replicas, and zero when disabled.
+	n.syncCache()
 	pn.SetApp(n)
 	return n
 }
@@ -114,6 +134,31 @@ func (n *Node) Stats() Stats {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return n.stats
+}
+
+// Mischief configures adversarial storage behaviour for the resilience
+// experiments: a node that claims replicas it does not hold. The
+// free-rider signs its receipts honestly — only a content audit exposes
+// it — while the forger's receipts carry an invalid signature, which the
+// client's batch verification identifies and drops.
+type Mischief struct {
+	ForgeReceipts bool
+	FreeRide      bool
+}
+
+// SetMischief installs the node's adversarial policy. Call before the
+// node handles traffic.
+func (n *Node) SetMischief(m Mischief) { n.mischief = m }
+
+// SetResilience adjusts the client-retry knobs (Config.LookupRetries,
+// Config.RetryBackoff, Config.HopBudget) after construction, so the
+// resilience experiments can measure the same overlay and workload with
+// defenses off and on. Call only between operations, from the simulation
+// goroutine.
+func (n *Node) SetResilience(retries int, backoff time.Duration, hopBudget int) {
+	n.cfg.LookupRetries = retries
+	n.cfg.RetryBackoff = backoff
+	n.cfg.HopBudget = hopBudget
 }
 
 // nowUnix converts the node's clock into certificate timestamps.
@@ -153,6 +198,22 @@ func (n *Node) Forward(r *wire.Routed, next wire.NodeRef) bool {
 	case wire.LookupRequest:
 		if n.serveLookup(r, m, true) {
 			return false // consumed: replied from replica or cache
+		}
+		// A lookup that has already burned its hop budget is being bounced
+		// around (misrouting, routing-table corruption): consume it and
+		// tell the client so it can retry a different route immediately
+		// instead of waiting out its timeout.
+		if n.cfg.HopBudget > 0 && r.Hops >= n.cfg.HopBudget {
+			n.mu.Lock()
+			n.stats.RouteAborts++
+			n.mu.Unlock()
+			abort := wire.LookupAbort{FileID: m.FileID, ReqID: m.ReqID, Hops: r.Hops, From: n.pn.Ref()}
+			if m.Client.ID == n.pn.ID() {
+				n.handleLookupAbort(abort)
+			} else {
+				n.pn.Send(m.Client, abort)
+			}
+			return false
 		}
 		// When the route is about to enter the fileId's replica set,
 		// steer it to the proximally nearest holder instead of the
@@ -198,6 +259,8 @@ func (n *Node) HandleDirect(from wire.NodeRef, m wire.Msg) bool {
 		n.handleLookupReply(msg)
 	case wire.LookupMiss:
 		n.handleLookupMiss(msg)
+	case wire.LookupAbort:
+		n.handleLookupAbort(msg)
 	case wire.FetchRequest:
 		n.handleFetch(msg)
 	case wire.ReclaimForward:
@@ -381,6 +444,30 @@ func (n *Node) accept(size int64, diverted bool) bool {
 
 // handleReplicaStore runs at each node asked to hold a replica.
 func (n *Node) handleReplicaStore(m wire.ReplicaStore) {
+	if n.mischief.ForgeReceipts || n.mischief.FreeRide {
+		// A cheating node claims the store without holding the data. The
+		// free-rider's receipt is properly signed (only an audit exposes
+		// the missing content); the forger's signature is corrupted, so
+		// the client's batch verification drops it.
+		rcpt := wire.StoreReceipt{
+			FileID:     m.Cert.FileID,
+			StoredBy:   n.pn.Ref(),
+			OnBehalfOf: m.Primary,
+			Diverted:   m.Diverted,
+			Size:       m.Cert.Size,
+			ReqID:      m.ReqID,
+		}
+		n.card.SignStoreReceipt(&rcpt)
+		if n.mischief.ForgeReceipts && len(rcpt.Sig) > 0 {
+			rcpt.Sig[0] ^= 0x80
+		}
+		if m.Client.ID == n.pn.ID() {
+			n.handleStoreReceipt(rcpt)
+		} else {
+			n.pn.Send(m.Client, rcpt)
+		}
+		return
+	}
 	if err := seccrypt.VerifyFileCertificate(n.brokerPub, &m.Cert, n.nowUnix()); err != nil {
 		return
 	}

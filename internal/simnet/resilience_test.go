@@ -1,0 +1,117 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+
+	"past/internal/wire"
+)
+
+// TestCrashLosesInFlight pins the fault model the churn and adversary
+// experiments rely on: a message already in flight when its target
+// crashes vanishes (no queueing across downtime), and traffic sent after
+// a restart flows again.
+func TestCrashLosesInFlight(t *testing.T) {
+	n := New(Config{Seed: 7}, func(a, b int) float64 { return 2 }) // 2ms links
+	a := n.NewEndpoint()
+	b := n.NewEndpoint()
+	delivered := 0
+	b.SetHandler(func(string, wire.Msg) { delivered++ })
+
+	if err := a.Send(b.Addr(), testMsg{1}); err != nil {
+		t.Fatal(err)
+	}
+	// Crash b at t=1ms, while the 2ms message is still in the air.
+	n.AfterFunc(time.Millisecond, func() { b.Crash() })
+	n.RunUntilIdle()
+	if delivered != 0 {
+		t.Fatal("in-flight message delivered to a node that crashed first")
+	}
+
+	b.Restart()
+	if err := a.Send(b.Addr(), testMsg{2}); err != nil {
+		t.Fatal(err)
+	}
+	n.RunUntilIdle()
+	if delivered != 1 {
+		t.Fatalf("after restart delivered %d, want 1", delivered)
+	}
+}
+
+// TestCrashedEndpointTimerSuppressed pins the timer half of the fault
+// model: a timer armed on an endpoint's own clock belongs to that node,
+// so it must not fire while the node is down — a crashed node runs no
+// code. Net-level timers have no owner and always fire.
+func TestCrashedEndpointTimerSuppressed(t *testing.T) {
+	n := New(Config{Seed: 7}, nil)
+	a := n.NewEndpoint()
+	fired := 0
+	a.Clock().AfterFunc(time.Millisecond, func() { fired++ })
+	netFired := 0
+	n.AfterFunc(time.Millisecond, func() { netFired++ })
+	a.Crash()
+	n.RunUntilIdle()
+	if fired != 0 {
+		t.Fatal("endpoint timer fired while its node was down")
+	}
+	if netFired != 1 {
+		t.Fatal("net-level timer must fire regardless of node state")
+	}
+
+	// A timer armed after restart fires normally.
+	a.Restart()
+	a.Clock().AfterFunc(time.Millisecond, func() { fired++ })
+	n.RunUntilIdle()
+	if fired != 1 {
+		t.Fatalf("timer after restart fired %d times, want 1", fired)
+	}
+}
+
+// TestSendRewriteMisroutes pins the message-rewrite hook the misrouting
+// adversary uses: the rewrite sees every non-filtered send, can change
+// the destination, runs after the send filter, and a nil rewrite leaves
+// the path untouched.
+func TestSendRewriteMisroutes(t *testing.T) {
+	n := New(Config{Seed: 7}, nil)
+	a := n.NewEndpoint()
+	b := n.NewEndpoint()
+	c := n.NewEndpoint()
+	var atB, atC []int
+	b.SetHandler(func(_ string, m wire.Msg) { atB = append(atB, m.(testMsg).N) })
+	c.SetHandler(func(_ string, m wire.Msg) { atC = append(atC, m.(testMsg).N) })
+
+	// Filter drops odd payloads; rewrite redirects the rest to c. A
+	// dropped message must never reach the rewrite.
+	rewriteSaw := 0
+	a.SetSendFilter(func(to string, m wire.Msg) bool { return m.(testMsg).N%2 == 1 })
+	a.SetSendRewrite(func(to string, m wire.Msg) (string, wire.Msg) {
+		rewriteSaw++
+		return c.Addr(), m
+	})
+	for i := 0; i < 4; i++ {
+		if err := a.Send(b.Addr(), testMsg{i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n.RunUntilIdle()
+	if len(atB) != 0 {
+		t.Fatalf("b received %v, rewrite should have redirected everything", atB)
+	}
+	if len(atC) != 2 || atC[0] != 0 || atC[1] != 2 {
+		t.Fatalf("c received %v, want [0 2]", atC)
+	}
+	if rewriteSaw != 2 {
+		t.Fatalf("rewrite saw %d sends, want 2 (filter runs first)", rewriteSaw)
+	}
+
+	// Clearing the rewrite restores direct delivery.
+	a.SetSendFilter(nil)
+	a.SetSendRewrite(nil)
+	if err := a.Send(b.Addr(), testMsg{9}); err != nil {
+		t.Fatal(err)
+	}
+	n.RunUntilIdle()
+	if len(atB) != 1 || atB[0] != 9 {
+		t.Fatalf("b received %v after clearing hooks, want [9]", atB)
+	}
+}

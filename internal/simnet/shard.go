@@ -197,6 +197,7 @@ func (s *shard) newEvent(at time.Duration) *event {
 func (s *shard) release(ev *event) {
 	ev.gen++
 	ev.fn = nil
+	ev.owner = nil
 	ev.target = nil
 	ev.msg = nil
 	ev.from = ""
@@ -274,8 +275,14 @@ func (s *shard) exec(ev *event) {
 		s.release(ev)
 		s.deliver(target, from, m)
 	} else {
-		fn := ev.fn
+		fn, owner := ev.fn, ev.owner
 		s.release(ev)
+		// Timers scheduled through a crashed endpoint's clock are consumed
+		// without firing: a silently-failed node must not run app callbacks.
+		// Net-level timers (owner == nil) always fire.
+		if owner != nil && !owner.Up() {
+			return
+		}
 		fn()
 	}
 }

@@ -408,6 +408,15 @@ func (n *Net) latency(a, b int, rng *rand.Rand) time.Duration {
 // traffic.
 type DropFilter func(to string, m wire.Msg) bool
 
+// RewriteFilter inspects an outbound message and may replace its
+// destination and/or payload. Used to model malicious nodes that
+// misroute traffic to a wrong-but-plausible next hop, or that tamper
+// with messages in flight. Returning the inputs unchanged forwards the
+// message normally. The filter runs on the sending endpoint's shard and
+// must only consult the sender's own state (its node, its private RNG),
+// never cross-shard state, to preserve determinism at any shard count.
+type RewriteFilter func(to string, m wire.Msg) (string, wire.Msg)
+
 // Endpoint implements transport.Transport inside a Net.
 type Endpoint struct {
 	net     *Net
@@ -417,8 +426,10 @@ type Endpoint struct {
 	handler transport.Handler
 	up      bool
 	closed  bool
-	// sendFilter, if set, can suppress outbound messages.
+	// sendFilter, if set, can suppress outbound messages; rewrite, if
+	// set, can redirect or replace them after the filter passes.
 	sendFilter DropFilter
+	rewrite    RewriteFilter
 	// seq counts events created by this endpoint (sharded engine ordering
 	// key); rng is its private jitter/loss stream, created on first use.
 	// Both make the endpoint's observable behaviour a function of its own
@@ -438,6 +449,10 @@ func (e *Endpoint) SetHandler(h transport.Handler) { e.handler = h }
 
 // SetSendFilter installs a malicious-behaviour filter on outbound traffic.
 func (e *Endpoint) SetSendFilter(f DropFilter) { e.sendFilter = f }
+
+// SetSendRewrite installs a malicious-behaviour rewrite hook on outbound
+// traffic; it runs after the drop filter (if any) passes a message.
+func (e *Endpoint) SetSendRewrite(f RewriteFilter) { e.rewrite = f }
 
 // Up reports whether the endpoint is accepting traffic.
 func (e *Endpoint) Up() bool { return e.up && !e.closed }
@@ -484,6 +499,7 @@ func (c epClock) AfterFunc(d time.Duration, f func()) transport.Timer {
 	ev := s.newEvent(e.nowLocal() + d)
 	e.stamp(ev)
 	ev.fn = f
+	ev.owner = e
 	s.events.push(ev)
 	return s.newTimerHandle(ev)
 }
@@ -498,6 +514,9 @@ func (e *Endpoint) Send(to string, m wire.Msg) error {
 	}
 	if e.sendFilter != nil && e.sendFilter(to, m) {
 		return nil
+	}
+	if e.rewrite != nil {
+		to, m = e.rewrite(to, m)
 	}
 	dst, err := Index(to)
 	if err != nil {
@@ -562,6 +581,7 @@ type event struct {
 	src       int32
 	seq       uint64
 	fn        func()    // timer events
+	owner     *Endpoint // timer events scheduled via an endpoint clock
 	target    *Endpoint // message events
 	from      string
 	msg       wire.Msg

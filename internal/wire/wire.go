@@ -281,6 +281,19 @@ type LookupMiss struct {
 
 func (LookupMiss) Kind() string { return "lookup-miss" }
 
+// LookupAbort tells the client its lookup exceeded the forwarding hop
+// budget — evidence of a routing anomaly (e.g. a malicious node bouncing
+// the request around the ring) — so the client can retry along a
+// different route immediately instead of waiting out its timeout.
+type LookupAbort struct {
+	FileID id.File
+	ReqID  uint64
+	Hops   int
+	From   NodeRef
+}
+
+func (LookupAbort) Kind() string { return "lookup-abort" }
+
 // ReclaimRequest is routed toward the fileId; the root fans it out to the
 // replica holders.
 type ReclaimRequest struct {
@@ -426,6 +439,7 @@ func RegisterAll() {
 	gob.Register(LookupRequest{})
 	gob.Register(LookupReply{})
 	gob.Register(LookupMiss{})
+	gob.Register(LookupAbort{})
 	gob.Register(ReclaimRequest{})
 	gob.Register(ReclaimForward{})
 	gob.Register(ReclaimReceipt{})

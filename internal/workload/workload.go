@@ -77,6 +77,35 @@ func NewZipf(seed int64, s float64, n int) *Zipf {
 // Draw returns a popularity-ranked item index.
 func (z *Zipf) Draw() int { return int(z.z.Uint64()) }
 
+// FlashCrowd wraps a Zipf stream so the hottest popularity rank maps to
+// one designated "viral" item: a previously cold file that suddenly
+// dominates the request mix (one story going viral). Draws swap rank 0
+// with the viral item's index and leave every other rank unchanged, so
+// the body of the distribution is still ordinary Zipf traffic.
+type FlashCrowd struct {
+	z *Zipf
+	// Viral is the item index that takes over rank 0.
+	Viral int
+}
+
+// NewFlashCrowd samples n items with Zipf(s) popularity, except that
+// item viral receives rank-0 (maximum) popularity.
+func NewFlashCrowd(seed int64, s float64, n, viral int) *FlashCrowd {
+	return &FlashCrowd{z: NewZipf(seed, s, n), Viral: viral}
+}
+
+// Draw returns one item index.
+func (f *FlashCrowd) Draw() int {
+	r := f.z.Draw()
+	switch r {
+	case 0:
+		return f.Viral
+	case f.Viral:
+		return 0
+	}
+	return r
+}
+
 // Capacities draws node storage capacities. The SOSP'01 evaluation
 // assigned node capacities from a truncated normal distribution so that
 // capacities differ by no more than a small factor; large imbalance is
