@@ -7,7 +7,13 @@
 //
 // A watch is <name>:<tolerance>. A bare name guards a microbenchmark's
 // ns/op; an "exp:<id>" name guards that experiment's Small-scale wall
-// clock (wall_ms) from the report's experiments section. Each metric
+// clock (wall_ms) from the report's experiments section, and
+// "exp:<id>@<scale>" the same for a bulk-built tier entry (e.g.
+// exp:E1@large:2.0). Two further kinds guard the scale work directly:
+// "mem:<probe>:<tol>" guards a mem_probes entry's bytes_per_node (fails
+// when fresh > base*tol), and "eps:<id>@<scale>:<tol>" guards an
+// experiment's events_per_sec throughput (fails when fresh <
+// base/tol — throughput regressions point the other way). Each metric
 // carries its own tolerance: experiment walls are one-shot timings (no
 // testing.B averaging), so they need a looser bound than the
 // microbenchmarks.
@@ -44,9 +50,15 @@ type report struct {
 		AllocsPerOp int64   `json:"allocs_per_op"`
 	} `json:"benchmarks"`
 	Experiments []struct {
-		ID     string  `json:"id"`
-		WallMs float64 `json:"wall_ms"`
+		ID           string  `json:"id"`
+		Scale        string  `json:"scale"`
+		WallMs       float64 `json:"wall_ms"`
+		EventsPerSec float64 `json:"events_per_sec"`
 	} `json:"experiments"`
+	MemProbes []struct {
+		Name         string  `json:"name"`
+		BytesPerNode float64 `json:"bytes_per_node"`
+	} `json:"mem_probes"`
 }
 
 func load(path string) (*report, error) {
@@ -70,21 +82,36 @@ func (r *report) ns(name string) (float64, int64, bool) {
 	return 0, 0, false
 }
 
-func (r *report) wallMs(id string) (float64, bool) {
+// expEntry finds the experiment entry for id at scale. A watch written
+// without @scale means the default Small-scale probe ("Small" in the
+// report).
+func (r *report) expEntry(id, scale string) (wallMs, eps float64, ok bool) {
 	for _, e := range r.Experiments {
-		if e.ID == id {
-			return e.WallMs, true
+		if e.ID == id && strings.EqualFold(e.Scale, scale) {
+			return e.WallMs, e.EventsPerSec, true
+		}
+	}
+	return 0, 0, false
+}
+
+func (r *report) bytesPerNode(name string) (float64, bool) {
+	for _, m := range r.MemProbes {
+		if m.Name == name {
+			return m.BytesPerNode, true
 		}
 	}
 	return 0, false
 }
 
-// watch is one guarded metric: a microbenchmark's ns/op, or (when exp
-// is set) an experiment's wall_ms.
+// watch is one guarded metric. kind selects the metric family:
+// "bench" (ns/op), "exp" (wall_ms), "eps" (events_per_sec, inverted
+// comparison), "mem" (bytes_per_node). scale qualifies exp/eps watches;
+// it defaults to Small for exp and is mandatory for eps.
 type watch struct {
-	name string
-	tol  float64
-	exp  bool
+	kind  string
+	name  string
+	scale string
+	tol   float64
 }
 
 func parseWatches(spec string) ([]watch, error) {
@@ -94,10 +121,13 @@ func parseWatches(spec string) ([]watch, error) {
 		if item == "" {
 			continue
 		}
-		w := watch{}
-		if rest, ok := strings.CutPrefix(item, "exp:"); ok {
-			w.exp = true
-			item = rest
+		w := watch{kind: "bench"}
+		for _, k := range []string{"exp", "eps", "mem"} {
+			if rest, ok := strings.CutPrefix(item, k+":"); ok {
+				w.kind = k
+				item = rest
+				break
+			}
 		}
 		name, tolStr, ok := strings.Cut(item, ":")
 		if !ok {
@@ -108,6 +138,14 @@ func parseWatches(spec string) ([]watch, error) {
 			return nil, fmt.Errorf("watch %q: bad tolerance %q", item, tolStr)
 		}
 		w.name, w.tol = name, tol
+		if w.kind == "exp" || w.kind == "eps" {
+			w.scale = "Small"
+			if n, sc, ok := strings.Cut(w.name, "@"); ok {
+				w.name, w.scale = n, sc
+			} else if w.kind == "eps" {
+				return nil, fmt.Errorf("watch %q: eps watches need <id>@<scale>", item)
+			}
+		}
 		out = append(out, w)
 	}
 	if len(out) == 0 {
@@ -117,7 +155,7 @@ func parseWatches(spec string) ([]watch, error) {
 }
 
 func main() {
-	base := flag.String("base", "BENCH_5.json", "committed baseline report")
+	base := flag.String("base", "BENCH_6.json", "committed baseline report")
 	fresh := flag.String("new", "bench-ci.json", "freshly measured report")
 	watches := flag.String("watch",
 		"Insert4KiB:1.25,Lookup4KiB:1.25,exp:E15:2.0,exp:E18:2.0",
@@ -142,22 +180,68 @@ func main() {
 
 	failed := 0
 	for _, w := range ws {
-		if w.exp {
-			b, ok := baseRep.wallMs(w.name)
+		switch w.kind {
+		case "exp":
+			label := w.name
+			if !strings.EqualFold(w.scale, "Small") {
+				label = w.name + "@" + w.scale
+			}
+			b, _, ok := baseRep.expEntry(w.name, w.scale)
 			if !ok {
-				fmt.Fprintf(os.Stderr, "benchguard: experiment %s missing from %s\n", w.name, *base)
+				fmt.Fprintf(os.Stderr, "benchguard: experiment %s missing from %s\n", label, *base)
 				os.Exit(2)
 			}
-			f, ok := freshRep.wallMs(w.name)
+			f, _, ok := freshRep.expEntry(w.name, w.scale)
 			if !ok {
-				fmt.Fprintf(os.Stderr, "benchguard: experiment %s missing from %s\n", w.name, *fresh)
+				fmt.Fprintf(os.Stderr, "benchguard: experiment %s missing from %s\n", label, *fresh)
 				os.Exit(2)
 			}
 			ratio := f / b
 			fmt.Printf("benchguard: exp:%s baseline %.0f ms, fresh %.0f ms (%.2fx, tolerance %.2fx)\n",
-				w.name, b, f, ratio, w.tol)
+				label, b, f, ratio, w.tol)
 			if ratio > w.tol {
 				fmt.Fprintf(os.Stderr, "benchguard: REGRESSION: exp:%s wall clock is %.2fx the committed baseline (limit %.2fx)\n",
+					label, ratio, w.tol)
+				failed++
+			}
+			continue
+		case "eps":
+			label := w.name + "@" + w.scale
+			_, b, ok := baseRep.expEntry(w.name, w.scale)
+			if !ok || b == 0 {
+				fmt.Fprintf(os.Stderr, "benchguard: events_per_sec for %s missing from %s\n", label, *base)
+				os.Exit(2)
+			}
+			_, f, ok := freshRep.expEntry(w.name, w.scale)
+			if !ok || f == 0 {
+				fmt.Fprintf(os.Stderr, "benchguard: events_per_sec for %s missing from %s\n", label, *fresh)
+				os.Exit(2)
+			}
+			ratio := b / f // >1 means fresh is slower
+			fmt.Printf("benchguard: eps:%s baseline %.0f ev/s, fresh %.0f ev/s (%.2fx slowdown, tolerance %.2fx)\n",
+				label, b, f, ratio, w.tol)
+			if ratio > w.tol {
+				fmt.Fprintf(os.Stderr, "benchguard: REGRESSION: eps:%s throughput dropped to 1/%.2fx of the committed baseline (limit 1/%.2fx)\n",
+					label, ratio, w.tol)
+				failed++
+			}
+			continue
+		case "mem":
+			b, ok := baseRep.bytesPerNode(w.name)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "benchguard: mem probe %s missing from %s\n", w.name, *base)
+				os.Exit(2)
+			}
+			f, ok := freshRep.bytesPerNode(w.name)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "benchguard: mem probe %s missing from %s\n", w.name, *fresh)
+				os.Exit(2)
+			}
+			ratio := f / b
+			fmt.Printf("benchguard: mem:%s baseline %.0f B/node, fresh %.0f B/node (%.2fx, tolerance %.2fx)\n",
+				w.name, b, f, ratio, w.tol)
+			if ratio > w.tol {
+				fmt.Fprintf(os.Stderr, "benchguard: REGRESSION: mem:%s bytes-per-node is %.2fx the committed baseline (limit %.2fx)\n",
 					w.name, ratio, w.tol)
 				failed++
 			}

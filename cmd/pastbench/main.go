@@ -24,7 +24,9 @@ import (
 	"time"
 
 	"past"
+	"past/internal/cluster"
 	"past/internal/experiments"
+	"past/internal/pastry"
 	"past/internal/seccrypt"
 )
 
@@ -37,12 +39,30 @@ type BenchResult struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 }
 
-// ExpResult is one experiment wall-clock probe.
+// ExpResult is one experiment wall-clock probe. Nodes/Events/EventsPerSec
+// and PeakRSSMB are filled when the experiment reports its simulation
+// scale (E1/E4/E15 do) and the platform exposes a resettable peak-RSS
+// watermark (Linux), so memory and throughput regress like wall clocks.
 type ExpResult struct {
-	ID     string  `json:"id"`
-	Scale  string  `json:"scale"`
-	Seed   int64   `json:"seed"`
-	WallMs float64 `json:"wall_ms"`
+	ID           string  `json:"id"`
+	Scale        string  `json:"scale"`
+	Seed         int64   `json:"seed"`
+	WallMs       float64 `json:"wall_ms"`
+	Nodes        int     `json:"nodes,omitempty"`
+	Events       uint64  `json:"events,omitempty"`
+	EventsPerSec float64 `json:"events_per_sec,omitempty"`
+	PeakRSSMB    float64 `json:"peak_rss_mb,omitempty"`
+}
+
+// MemProbe is one bulk-construction memory measurement: build an
+// analytic network of the given size and record heap bytes per node and
+// build wall clock — the two quantities the 100k tier lives or dies by.
+type MemProbe struct {
+	Name         string  `json:"name"`
+	Nodes        int     `json:"nodes"`
+	BytesPerNode float64 `json:"bytes_per_node"`
+	BuildMs      float64 `json:"build_ms"`
+	PeakRSSMB    float64 `json:"peak_rss_mb,omitempty"`
 }
 
 // MatrixResult is one cell of the GOMAXPROCS × shards scaling matrix:
@@ -69,6 +89,7 @@ type Report struct {
 	UnixTime    int64          `json:"unix_time"`
 	Benchmarks  []BenchResult  `json:"benchmarks"`
 	Experiments []ExpResult    `json:"experiments"`
+	MemProbes   []MemProbe     `json:"mem_probes,omitempty"`
 	Matrix      []MatrixResult `json:"scaling_matrix,omitempty"`
 	MemoHits    uint64         `json:"verify_memo_hits"`
 	MemoMisses  uint64         `json:"verify_memo_misses"`
@@ -107,6 +128,10 @@ func main() {
 		"comma-separated GOMAXPROCS values for the matrix (default: 1 and NumCPU)")
 	matrixShards := flag.String("matrix-shards", "1,2,4",
 		"comma-separated shard counts for the matrix")
+	tierExps := flag.String("tier-exps", "E1@large,E4@large,E15@large,E1@huge",
+		"comma-separated id@scale probes for the bulk-built tiers (empty disables)")
+	memProbes := flag.String("mem-probes", "20000,100000",
+		"comma-separated analytic-build sizes for the bytes-per-node probe (empty disables)")
 	flag.Parse()
 	if *shards < 1 {
 		fmt.Fprintf(os.Stderr, "pastbench: -shards must be >= 1, got %d\n", *shards)
@@ -210,17 +235,57 @@ func main() {
 	}))
 	fmt.Fprintf(os.Stderr, "NetworkBuild64 done\n")
 
-	for _, idStr := range ids {
+	runProbe := func(idStr string, scale experiments.Scale, scaleName string) {
+		resetPeakRSS()
 		start := time.Now()
-		if _, err := experiments.Run(idStr, experiments.Small, 42); err != nil {
-			fmt.Fprintf(os.Stderr, "experiment %s: %v\n", idStr, err)
+		res, err := experiments.Run(idStr, scale, 42)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s@%s: %v\n", idStr, scaleName, err)
 			os.Exit(1)
 		}
-		rep.Experiments = append(rep.Experiments, ExpResult{
-			ID: idStr, Scale: "Small", Seed: 42,
-			WallMs: float64(time.Since(start).Microseconds()) / 1000,
-		})
-		fmt.Fprintf(os.Stderr, "%s done\n", idStr)
+		wall := time.Since(start)
+		er := ExpResult{
+			ID: idStr, Scale: scaleName, Seed: 42,
+			WallMs:    float64(wall.Microseconds()) / 1000,
+			Nodes:     res.Nodes,
+			Events:    res.Events,
+			PeakRSSMB: peakRSSMB(),
+		}
+		if res.Events > 0 && wall > 0 {
+			er.EventsPerSec = float64(res.Events) / wall.Seconds()
+		}
+		rep.Experiments = append(rep.Experiments, er)
+		fmt.Fprintf(os.Stderr, "%s@%s done\n", idStr, scaleName)
+	}
+	for _, idStr := range ids {
+		runProbe(idStr, experiments.Small, "Small")
+	}
+	for _, spec := range splitComma(*tierExps) {
+		idStr, scaleName, ok := strings.Cut(spec, "@")
+		if !ok {
+			fmt.Fprintf(os.Stderr, "bad -tier-exps entry %q (want id@scale)\n", spec)
+			os.Exit(2)
+		}
+		scale, err := experiments.ParseScale(scaleName)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad -tier-exps entry %q: %v\n", spec, err)
+			os.Exit(2)
+		}
+		if !known[idStr] {
+			fmt.Fprintf(os.Stderr, "unknown tier experiment %q\n", idStr)
+			os.Exit(1)
+		}
+		runProbe(idStr, scale, scaleName)
+	}
+
+	for _, part := range splitComma(*memProbes) {
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 2 {
+			fmt.Fprintf(os.Stderr, "bad -mem-probes entry %q\n", part)
+			os.Exit(2)
+		}
+		rep.MemProbes = append(rep.MemProbes, memProbe(n))
+		fmt.Fprintf(os.Stderr, "mem probe %d done\n", n)
 	}
 
 	// GOMAXPROCS × shards scaling matrix. Cells run sequentially with the
@@ -292,4 +357,70 @@ func splitComma(s string) []string {
 		}
 	}
 	return out
+}
+
+// ---------------------------------------------------------------------------
+// Memory probes (Linux-specific parts degrade to zero elsewhere)
+
+// resetPeakRSS rewinds the kernel's peak-RSS watermark so the following
+// experiment's VmHWM reading is its own peak, not an earlier probe's.
+// Writing "5" to /proc/self/clear_refs is the documented reset; failure
+// (non-Linux, restricted procfs) is harmless — PeakRSSMB just reports
+// the process-lifetime peak instead.
+func resetPeakRSS() {
+	_ = os.WriteFile("/proc/self/clear_refs", []byte("5"), 0)
+}
+
+// peakRSSMB reads VmHWM from /proc/self/status; 0 when unavailable.
+func peakRSSMB() float64 {
+	b, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(b), "\n") {
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) >= 2 {
+			kb, _ := strconv.ParseFloat(f[1], 64)
+			return kb / 1024
+		}
+	}
+	return 0
+}
+
+// memProbe builds an n-node network analytically and reports live heap
+// bytes per node plus the build wall clock. This is the number the Huge
+// tier's 4 GiB budget is engineered against, so benchguard can watch it
+// (-watch mem:analytic_build_20000:1.3).
+func memProbe(n int) MemProbe {
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+	resetPeakRSS()
+	start := time.Now()
+	c, err := cluster.Build(cluster.Options{
+		N:        n,
+		Pastry:   pastry.DefaultConfig(),
+		Seed:     42,
+		Analytic: true,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mem probe %d: %v\n", n, err)
+		os.Exit(1)
+	}
+	buildMs := float64(time.Since(start).Microseconds()) / 1000
+	runtime.GC()
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	probe := MemProbe{
+		Name:         fmt.Sprintf("analytic_build_%d", n),
+		Nodes:        n,
+		BytesPerNode: float64(after.HeapAlloc-before.HeapAlloc) / float64(n),
+		BuildMs:      buildMs,
+		PeakRSSMB:    peakRSSMB(),
+	}
+	runtime.KeepAlive(c)
+	return probe
 }

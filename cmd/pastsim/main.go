@@ -24,7 +24,7 @@ import (
 func main() {
 	var (
 		expFlag    = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
-		scaleFlag  = flag.String("scale", "small", "small (seconds) or full (paper scale, minutes)")
+		scaleFlag  = flag.String("scale", "small", "small (seconds), full (paper scale, minutes), large (20k nodes, bulk-built), or huge (100k nodes)")
 		seedFlag   = flag.Int64("seed", 42, "random seed; identical seeds reproduce identical tables")
 		shardsFlag = flag.Int("shards", experiments.Shards,
 			"simulation shards for the single-cluster phase experiments (E2-E5, E8, E9, E12-E17);\ntables are byte-identical for any value >= 1, so this only selects parallelism (default: core count)")
@@ -54,13 +54,9 @@ func main() {
 		}
 		return
 	}
-	scale := experiments.Small
-	switch *scaleFlag {
-	case "small":
-	case "full":
-		scale = experiments.Full
-	default:
-		fmt.Fprintf(os.Stderr, "pastsim: unknown scale %q (want small or full)\n", *scaleFlag)
+	scale, err := experiments.ParseScale(*scaleFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pastsim: %v\n", err)
 		os.Exit(2)
 	}
 	ids := experiments.IDs()

@@ -1,0 +1,199 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"past/internal/id"
+	"past/internal/pastry"
+)
+
+func buildPair(t *testing.T, n int, seed int64, analytic bool, shards int) (*Cluster, []*Recorder) {
+	t.Helper()
+	factory, recs := RecorderFactory(n)
+	c, err := Build(Options{
+		N:          n,
+		Pastry:     pastry.DefaultConfig(),
+		Seed:       seed,
+		AppFactory: factory,
+		Analytic:   analytic,
+		Shards:     shards,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, recs
+}
+
+func probeOnce(c *Cluster, recs []*Recorder, from int, key id.Node, seq uint64) (Delivery, bool) {
+	var got *Delivery
+	for _, r := range recs {
+		r.OnDeliver = func(d Delivery) {
+			if p, ok := d.Routed.Payload.(ProbeMsg); ok && p.Seq == seq {
+				got = &d
+			}
+		}
+	}
+	c.Nodes[from].Route(key, ProbeMsg{Seq: seq})
+	c.Net.RunUntil(func() bool { return got != nil }, 10_000_000)
+	for _, r := range recs {
+		r.OnDeliver = nil
+	}
+	if got == nil {
+		return Delivery{}, false
+	}
+	return *got, true
+}
+
+// TestAnalyticEquivalence is the validation argument for bulk
+// construction: an analytically-built network must be structurally
+// identical to a protocol-built one — same leaf sets, same routing-slot
+// occupancy — and route every probe to the same destination. Per-probe
+// hop counts may differ on a small fraction of probes: a routing slot may
+// hold a different (equally correct, per section 2.2 any node with the
+// matching prefix qualifies) occupant, which shifts where the leaf-set
+// shortcut engages; the hop-count DISTRIBUTION must agree tightly, which
+// the mean assertion pins.
+func TestAnalyticEquivalence(t *testing.T) {
+	for _, n := range []int{64, 256} {
+		n := n
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			const seed = 7
+			cp, rp := buildPair(t, n, seed, false, 0)
+			ca, ra := buildPair(t, n, seed, true, 0)
+
+			rows := cp.Nodes[0].RoutingTableRows()
+			for i := 0; i < n; i++ {
+				if !ca.Nodes[i].Joined() {
+					t.Fatalf("analytic node %d not joined", i)
+				}
+				ps, pl := cp.Nodes[i].LeafSmaller(), cp.Nodes[i].LeafLarger()
+				as, al := ca.Nodes[i].LeafSmaller(), ca.Nodes[i].LeafLarger()
+				if fmt.Sprint(ps) != fmt.Sprint(as) || fmt.Sprint(pl) != fmt.Sprint(al) {
+					t.Fatalf("node %d leaf sets differ:\nprotocol: %v | %v\nanalytic: %v | %v", i, ps, pl, as, al)
+				}
+				for row := 0; row <= rows; row++ {
+					for col := 0; col < 16; col++ {
+						_, pok := cp.Nodes[i].RoutingEntry(row, col)
+						_, aok := ca.Nodes[i].RoutingEntry(row, col)
+						if pok != aok {
+							t.Fatalf("node %d RT slot (%d,%d): protocol populated=%v analytic populated=%v", i, row, col, pok, aok)
+						}
+					}
+				}
+			}
+
+			rng := rand.New(rand.NewSource(99))
+			const trials = 200
+			var sumP, sumA float64
+			for tr := 0; tr < trials; tr++ {
+				key := id.Rand(uint64(n)<<32 + uint64(tr))
+				from := rng.Intn(n)
+				dp, okp := probeOnce(cp, rp, from, key, uint64(tr))
+				da, oka := probeOnce(ca, ra, from, key, uint64(tr))
+				if !okp || !oka {
+					t.Fatalf("probe %d lost (protocol ok=%v analytic ok=%v)", tr, okp, oka)
+				}
+				if dp.NodeIndex != da.NodeIndex {
+					t.Fatalf("probe %d delivered to different nodes: protocol %d analytic %d", tr, dp.NodeIndex, da.NodeIndex)
+				}
+				want := cp.NumericallyClosest(key)
+				if cp.Nodes[dp.NodeIndex].ID() != want.ID {
+					t.Fatalf("probe %d missed numerically closest node", tr)
+				}
+				sumP += float64(dp.Routed.Hops)
+				sumA += float64(da.Routed.Hops)
+			}
+			meanP, meanA := sumP/trials, sumA/trials
+			if d := math.Abs(meanP - meanA); d > 0.1 {
+				t.Fatalf("mean hops diverge: protocol %.3f analytic %.3f (|diff| %.3f > 0.1)", meanP, meanA, d)
+			}
+		})
+	}
+}
+
+// TestAnalyticShardIndependence pins that the analytic build produces
+// byte-identical state at any shard count (it schedules no events, so
+// this holds by construction — the test keeps it that way).
+func TestAnalyticShardIndependence(t *testing.T) {
+	snapshot := func(shards int) string {
+		c, _ := buildPair(t, 64, 11, true, shards)
+		s := ""
+		for i, nd := range c.Nodes {
+			s += fmt.Sprint(i, nd.LeafSmaller(), nd.LeafLarger(), nd.NeighborhoodMembers())
+			for row := 0; row < 4; row++ {
+				for col := 0; col < 16; col++ {
+					ref, ok := nd.RoutingEntry(row, col)
+					s += fmt.Sprint(row, col, ref, ok)
+				}
+			}
+		}
+		return s
+	}
+	base := snapshot(1)
+	for _, shards := range []int{2, 4} {
+		if snapshot(shards) != base {
+			t.Fatalf("analytic state differs at shards=%d", shards)
+		}
+	}
+}
+
+// TestQuarantineSlotReuse pins the AddNode failure path: a failed join
+// must release its reserved slot (endpoint, topology placement, shard
+// assignment) so the next arrival reuses it instead of leaking it —
+// at 20k+ nodes under churn, leaked slots otherwise accumulate without
+// bound.
+func TestQuarantineSlotReuse(t *testing.T) {
+	factory, _ := RecorderFactory(64)
+	c, err := Build(Options{N: 4, Pastry: pastry.DefaultConfig(), Seed: 3, AppFactory: factory})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		c.Crash(i)
+	}
+	// Every join target is dead: the join must time out and quarantine.
+	if _, err := c.AddNode(); err == nil {
+		t.Fatal("AddNode succeeded against an all-dead network")
+	}
+	if len(c.Nodes) != 5 {
+		t.Fatalf("got %d slots, want 5", len(c.Nodes))
+	}
+	if len(c.freeSlots) != 1 || c.freeSlots[0] != 4 {
+		t.Fatalf("quarantined slot not released: freeSlots=%v", c.freeSlots)
+	}
+	deadID := c.Nodes[4].ID()
+	for i := 0; i < 4; i++ {
+		c.Restart(i)
+	}
+	c.RunSettle(5e9) // let recovery traffic drain
+	idx, err := c.AddNode()
+	if err != nil {
+		t.Fatalf("AddNode after restart: %v", err)
+	}
+	if idx != 4 {
+		t.Fatalf("arrival got slot %d, want reused slot 4", idx)
+	}
+	if len(c.Nodes) != 5 || len(c.freeSlots) != 0 {
+		t.Fatalf("slot bookkeeping wrong: %d slots, freeSlots=%v", len(c.Nodes), c.freeSlots)
+	}
+	if got := c.IndexByID(c.Nodes[4].ID()); got != 4 {
+		t.Fatalf("IndexByID(new)=%d, want 4", got)
+	}
+	if deadID != c.Nodes[4].ID() {
+		// NodeID derivation is per-slot, so a reused slot re-derives the
+		// same id; if that ever changes the intern table must still have
+		// dropped the failed attempt.
+		if c.IndexByID(deadID) != -1 {
+			t.Fatal("failed joiner's id still interned after slot reuse")
+		}
+	}
+	if c.Down(4) {
+		t.Fatal("reused slot still marked down")
+	}
+	if c.LiveCount() != 5 {
+		t.Fatalf("LiveCount=%d, want 5", c.LiveCount())
+	}
+}

@@ -49,6 +49,13 @@ type Options struct {
 	// determinism tests to exercise the phased barrier under -race).
 	// Results are byte-identical for any value.
 	WindowWorkers int
+	// Analytic skips the n sequential protocol joins and seeds routing
+	// tables, leaf sets, and neighborhood sets directly from the sorted
+	// id ring in O(n log n) total work (see analytic.go). State is
+	// equivalent to protocol construction (asserted by
+	// TestAnalyticEquivalence) but builds 100k-node networks in seconds
+	// instead of hours; the Large/Huge experiment tiers require it.
+	Analytic bool
 }
 
 // Cluster is a built network.
@@ -63,9 +70,13 @@ type Cluster struct {
 	rng    *rand.Rand
 	sorted []wire.NodeRef // all refs sorted by id, for oracle queries
 	down   map[int]bool
-	byID   map[id.Node]int // id -> cluster index, kept current across add/crash/leave
-	probes bool            // EnableProbes was called; install on nodes added later too
-	joins  []*joinState    // asynchronous joins not yet resolved
+	ids    *id.Intern   // per-network id -> dense index + canonical addr
+	probes bool         // EnableProbes was called; install on nodes added later too
+	joins  []*joinState // asynchronous joins not yet resolved
+	// freeSlots holds quarantined cluster indices (failed joins whose
+	// endpoint, topology placement, and shard assignment are already
+	// reserved); the next arrival reuses one instead of leaking it.
+	freeSlots []int
 }
 
 // joinState tracks one AddNodeAsync join until ResolveJoins folds it in.
@@ -119,7 +130,13 @@ func Build(opts Options) (*Cluster, error) {
 		Topo: topo,
 		rng:  rand.New(rand.NewSource(opts.Seed + 2)),
 		down: make(map[int]bool),
-		byID: make(map[id.Node]int, opts.N),
+		ids:  id.NewIntern(),
+	}
+	if opts.Analytic {
+		if err := c.buildAnalytic(); err != nil {
+			return nil, err
+		}
+		return c, nil
 	}
 	for i := 0; i < opts.N; i++ {
 		if err := c.addNode(i); err != nil {
@@ -131,10 +148,22 @@ func Build(opts Options) (*Cluster, error) {
 }
 
 // newNode constructs node i (topology slot, endpoint, pastry node, app)
-// without joining it.
+// without joining it. When i is a quarantined slot being reused, the
+// existing endpoint — already placed on the topology and assigned to its
+// shard — is restarted and rebound to a fresh pastry node; otherwise a new
+// slot is appended.
 func (c *Cluster) newNode(i int) *pastry.Node {
-	c.Topo.Place()
-	ep := c.Net.NewEndpoint()
+	reuse := i < len(c.Nodes)
+	var ep *simnet.Endpoint
+	if reuse {
+		ep = c.Eps[i]
+		ep.Restart()
+		c.ids.Delete(c.Nodes[i].ID())
+		delete(c.down, i)
+	} else {
+		c.Topo.Place()
+		ep = c.Net.NewEndpoint()
+	}
 	nid := id.Rand(uint64(c.Opts.Seed)<<20 + uint64(i))
 	if c.Opts.NodeID != nil {
 		nid = c.Opts.NodeID(i)
@@ -150,14 +179,43 @@ func (c *Cluster) newNode(i int) *pastry.Node {
 		app = c.Opts.AppFactory(i, nd, ep)
 		nd.SetApp(app)
 	}
-	c.Nodes = append(c.Nodes, nd)
-	c.Eps = append(c.Eps, ep)
-	c.Apps = append(c.Apps, app)
-	c.byID[nid] = i
+	if reuse {
+		c.Nodes[i], c.Apps[i] = nd, app
+	} else {
+		c.Nodes = append(c.Nodes, nd)
+		c.Eps = append(c.Eps, ep)
+		c.Apps = append(c.Apps, app)
+	}
+	c.ids.Put(nid, int32(i), ep.Addr())
 	if c.probes {
 		c.installProbe(i)
 	}
 	return nd
+}
+
+// takeSlot picks the index for the next arrival: a quarantined slot when
+// one is free, a fresh appended slot otherwise.
+func (c *Cluster) takeSlot() int {
+	if n := len(c.freeSlots); n > 0 {
+		i := c.freeSlots[n-1]
+		c.freeSlots = c.freeSlots[:n-1]
+		return i
+	}
+	return len(c.Nodes)
+}
+
+// quarantine takes a failed joiner off the network and releases its slot
+// for the next arrival. Before the free list existed every failed join
+// leaked its endpoint (and, under the sharded engine, its shard slot)
+// forever — harmless at hundreds of nodes, fatal at 20k+ under churn.
+func (c *Cluster) quarantine(i int) {
+	if i >= len(c.Nodes) {
+		return
+	}
+	c.Eps[i].Crash()
+	c.Nodes[i].Leave()
+	c.down[i] = true
+	c.freeSlots = append(c.freeSlots, i)
 }
 
 func (c *Cluster) addNode(i int) error {
@@ -203,16 +261,12 @@ func (c *Cluster) addNode(i int) error {
 // Options.NodeID and Options.AppFactory, when set, must accept indices
 // beyond the original Options.N.
 func (c *Cluster) AddNode() (int, error) {
-	i := len(c.Nodes)
+	i := c.takeSlot()
 	if err := c.addNode(i); err != nil {
 		// The join did not complete (possible under heavy churn): take the
 		// half-joined node off the network so the oracle and the workload
-		// never see it.
-		if i < len(c.Nodes) {
-			c.Eps[i].Crash()
-			c.Nodes[i].Leave()
-			c.down[i] = true
-		}
+		// never see it, and free its slot for the next arrival.
+		c.quarantine(i)
 		c.rebuildOracle()
 		return -1, err
 	}
@@ -228,7 +282,7 @@ func (c *Cluster) AddNode() (int, error) {
 // called from the coordinating goroutine between simulation runs. It
 // returns the new node's index.
 func (c *Cluster) AddNodeAsync() int {
-	i := len(c.Nodes)
+	i := c.takeSlot()
 	nd := c.newNode(i)
 	if i == 0 {
 		nd.Bootstrap()
@@ -264,9 +318,8 @@ func (c *Cluster) ResolveJoins() (joined []int, failed int) {
 		case !st.done:
 			rest = append(rest, st)
 		case st.err != nil:
-			c.Eps[st.idx].Crash()
-			c.Nodes[st.idx].Leave()
-			failed++ // stays down
+			c.quarantine(st.idx)
+			failed++ // stays down until the slot is reused
 		default:
 			delete(c.down, st.idx)
 			joined = append(joined, st.idx)
@@ -410,10 +463,7 @@ func (c *Cluster) KClosest(key id.Node, k int) []wire.NodeRef {
 // departed nodes included, like the slice scan it replaces). The lookup
 // is O(1): under churn every arrival and departure consults it.
 func (c *Cluster) IndexByID(n id.Node) int {
-	if i, ok := c.byID[n]; ok {
-		return i
-	}
-	return -1
+	return int(c.ids.Index(n))
 }
 
 // Crash silently removes node i from the network (endpoint down, pastry

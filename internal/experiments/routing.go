@@ -11,6 +11,7 @@ import (
 	"past/internal/pastry"
 	"past/internal/simnet"
 	"past/internal/wire"
+	"past/internal/workload"
 )
 
 // E1RoutingHops reproduces the hop-count scaling figure: the average
@@ -19,18 +20,48 @@ import (
 func E1RoutingHops(scale Scale, seed int64) Result {
 	sizes := []int{64, 256, 1024}
 	trials := 500
-	if scale == Full {
+	switch scale {
+	case Full:
 		sizes = []int{256, 1024, 4096, 16384, 32768}
 		trials = 2000
+	case Large:
+		sizes = []int{4096, 20000}
+		trials = 1000
+	case Huge:
+		sizes = []int{100000}
+		trials = 1000
 	}
 	tbl := &metrics.Table{Header: []string{"N", "ceil(log16 N)", "avg hops", "p95 hops", "max hops", "delivered"}}
 	type point struct {
 		hops      metrics.Summary
 		delivered int
+		events    uint64
 	}
 	pts := make([]point, len(sizes))
 	forEachPoint(len(sizes), func(i int) {
 		n := sizes[i]
+		if scale >= Large {
+			// Bulk-constructed network, million-user workload: each probe
+			// is a logical client folded onto its entry node, and only the
+			// oracle-known destination's recorder is armed (arming all
+			// 100k is the dominant cost otherwise).
+			c, recs := mustRoutingCluster(n, seed, largeTier)
+			mux := workload.NewClientMux(int64(n)*50, seed)
+			for t := 0; t < trials; t++ {
+				client := mux.Client(uint64(t))
+				from := mux.EntryNode(client, n)
+				key := mux.Key(client, uint64(t))
+				dest := c.IndexByID(c.NumericallyClosest(key).ID)
+				d, ok := probeRouteTo(c, recs, from, dest, key, uint64(t))
+				if !ok {
+					continue
+				}
+				pts[i].delivered++
+				pts[i].hops.Add(float64(d.Routed.Hops))
+			}
+			pts[i].events = c.Net.Messages()
+			return
+		}
 		c, recs := mustRoutingCluster(n, seed, nil)
 		for t := 0; t < trials; t++ {
 			key := id.Rand(uint64(seed)<<32 + uint64(t))
@@ -41,17 +72,22 @@ func E1RoutingHops(scale Scale, seed int64) Result {
 			pts[i].delivered++
 			pts[i].hops.Add(float64(d.Routed.Hops))
 		}
+		pts[i].events = c.Net.Messages()
 	})
+	var events uint64
 	for i, n := range sizes {
 		bound := int(math.Ceil(math.Log(float64(n)) / math.Log(16)))
 		tbl.AddRow(n, bound, pts[i].hops.Mean(), pts[i].hops.Percentile(95), pts[i].hops.Max(),
 			fmt.Sprintf("%d/%d", pts[i].delivered, trials))
+		events += pts[i].events
 	}
 	return Result{
 		ID:         "E1",
 		Title:      "Average routing hops vs network size (b=4, l=32)",
 		PaperClaim: "routes complete in < ceil(log16 N) hops on average",
 		Table:      tbl,
+		Nodes:      sizes[len(sizes)-1],
+		Events:     events,
 	}
 }
 
@@ -130,13 +166,23 @@ func E3Locality(scale Scale, seed int64) Result {
 // the time and one of the two nearest ~92%.
 func E4ReplicaProximity(scale Scale, seed int64) Result {
 	n, files, lookups := 256, 40, 300
-	if scale == Full {
+	mut := sharded
+	switch scale {
+	case Full:
 		n, files, lookups = 5000, 200, 2000
+	case Large:
+		n, files, lookups, mut = 20000, 40, 400, largeTier
+	case Huge:
+		n, files, lookups, mut = 100000, 40, 400, largeTier
 	}
 	cfg := defaultPASTConfig()
 	cfg.K = 5
 	cfg.Caching = false // measure pure replica selection, not caches
-	pc := mustPAST(n, seed, cfg, nil, sharded)
+	pc := mustPAST(n, seed, cfg, nil, mut)
+	var mux *workload.ClientMux
+	if scale >= Large {
+		mux = workload.NewClientMux(int64(n)*50, seed)
+	}
 	type stored struct {
 		f       id.File
 		holders []int
@@ -161,6 +207,11 @@ func E4ReplicaProximity(scale Scale, seed int64) Result {
 	for t := 0; t < lookups && len(pop) > 0; t++ {
 		s := pop[t%len(pop)]
 		client := pc.Rand().Intn(n)
+		if mux != nil {
+			// Tiered runs draw the requester from the logical client
+			// population folded onto entry nodes.
+			client = mux.EntryNode(mux.Client(uint64(t)), n)
+		}
 		lr := pc.lookup(client, s.f)
 		if lr.Err != nil {
 			continue
@@ -194,6 +245,8 @@ func E4ReplicaProximity(scale Scale, seed int64) Result {
 		Title:      fmt.Sprintf("Fraction of lookups reaching the proximally nearest of k=5 replicas (N=%d)", n),
 		PaperClaim: "nearest replica in 76% of lookups; one of two nearest in 92%",
 		Table:      tbl,
+		Nodes:      n,
+		Events:     pc.Net.Messages(),
 	}
 }
 

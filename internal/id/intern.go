@@ -1,0 +1,95 @@
+package id
+
+import "sync"
+
+// internStripes is a power of two so the stripe of an id is a mask of its
+// first (uniformly distributed, sha256-derived) byte.
+const internStripes = 16
+
+// Intern is a per-network identity table: it maps each node id to a dense
+// index and a canonical address string, assigned once at registration.
+// Every simulated network owns its own table, so ids never alias state
+// across concurrently running networks (experiment grids run many
+// clusters in parallel), and the canonical address lets bulk-constructed
+// routing state share one string per node instead of re-deriving copies.
+//
+// Lookups take a stripe read-lock only: shards of the windowed simulation
+// engine resolve ids concurrently while the coordinating goroutine is
+// parked at a barrier, so reads must be cheap and race-free. Writes
+// (registration, re-registration under churn) take the stripe write-lock.
+type Intern struct {
+	stripes [internStripes]internStripe
+}
+
+type internStripe struct {
+	mu sync.RWMutex
+	m  map[Node]internEntry
+}
+
+type internEntry struct {
+	index int32
+	addr  string
+}
+
+// NewIntern returns an empty table.
+func NewIntern() *Intern { return &Intern{} }
+
+func (t *Intern) stripe(n Node) *internStripe {
+	return &t.stripes[n[0]&(internStripes-1)]
+}
+
+// Put registers (or re-registers, when a churned-out slot is reused) the
+// id with its dense index and canonical address.
+func (t *Intern) Put(n Node, index int32, addr string) {
+	s := t.stripe(n)
+	s.mu.Lock()
+	if s.m == nil {
+		s.m = make(map[Node]internEntry)
+	}
+	s.m[n] = internEntry{index, addr}
+	s.mu.Unlock()
+}
+
+// Delete removes the id, reporting whether it was present.
+func (t *Intern) Delete(n Node) bool {
+	s := t.stripe(n)
+	s.mu.Lock()
+	_, ok := s.m[n]
+	delete(s.m, n)
+	s.mu.Unlock()
+	return ok
+}
+
+// Index returns the dense index registered for the id, or -1.
+func (t *Intern) Index(n Node) int32 {
+	s := t.stripe(n)
+	s.mu.RLock()
+	e, ok := s.m[n]
+	s.mu.RUnlock()
+	if !ok {
+		return -1
+	}
+	return e.index
+}
+
+// Addr returns the canonical address registered for the id and whether
+// the id is known.
+func (t *Intern) Addr(n Node) (string, bool) {
+	s := t.stripe(n)
+	s.mu.RLock()
+	e, ok := s.m[n]
+	s.mu.RUnlock()
+	return e.addr, ok
+}
+
+// Len returns the number of registered ids.
+func (t *Intern) Len() int {
+	total := 0
+	for i := range t.stripes {
+		s := &t.stripes[i]
+		s.mu.RLock()
+		total += len(s.m)
+		s.mu.RUnlock()
+	}
+	return total
+}

@@ -1,0 +1,70 @@
+package pastry
+
+import "past/internal/wire"
+
+// Arena is a slab allocator for bulk network construction. Building 100k
+// nodes one protocol join at a time leaves each node's routing rows and
+// leaf-set halves as separate heap objects — hundreds of thousands of
+// small allocations the GC then scans forever. The analytic builder in
+// internal/cluster instead carves every row and half out of a handful of
+// large slabs, cutting allocator overhead and GC scan work by orders of
+// magnitude.
+//
+// Carved slices are handed out with capacity clamped to their length
+// (three-index slicing), so a later append — a leaf-set insertion during
+// repair, say — reallocates onto the heap instead of clobbering the
+// neighboring carve. The arena therefore never needs to be "closed": state
+// seeded from it degrades gracefully to ordinary heap allocation the
+// moment the protocol starts mutating it.
+//
+// An Arena is not safe for concurrent use; the bulk builder runs on one
+// goroutine before the simulation starts.
+type Arena struct {
+	entries []entry
+	refs    []wire.NodeRef
+
+	// entrySlab/refSlab size new slabs; they double up to a cap so the
+	// slab count stays O(log total) without overshooting small builds.
+	entrySlab int
+	refSlab   int
+}
+
+// NewArena returns an empty arena.
+func NewArena() *Arena { return &Arena{entrySlab: 4096, refSlab: 4096} }
+
+const maxSlab = 1 << 20
+
+// entryRow carves a zeroed row of n entries.
+func (a *Arena) entryRow(n int) []entry {
+	if len(a.entries) < n {
+		if a.entrySlab < maxSlab {
+			a.entrySlab *= 2
+		}
+		size := a.entrySlab
+		if size < n {
+			size = n
+		}
+		a.entries = make([]entry, size)
+	}
+	out := a.entries[:n:n]
+	a.entries = a.entries[n:]
+	return out
+}
+
+// Refs carves a zeroed slice of n node references (leaf-set halves,
+// neighborhood seeds). Appending beyond n spills to the heap.
+func (a *Arena) Refs(n int) []wire.NodeRef {
+	if len(a.refs) < n {
+		if a.refSlab < maxSlab {
+			a.refSlab *= 2
+		}
+		size := a.refSlab
+		if size < n {
+			size = n
+		}
+		a.refs = make([]wire.NodeRef, size)
+	}
+	out := a.refs[:n:n]
+	a.refs = a.refs[n:]
+	return out
+}

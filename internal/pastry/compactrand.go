@@ -1,0 +1,42 @@
+package pastry
+
+// Compact per-node randomness for very large simulations.
+//
+// The Go 1 math/rand source behind rand.New(rand.NewSource(seed)) is an
+// additive lagged-Fibonacci generator holding 607 int64s (~4.9 KiB) —
+// the single largest fixed cost of a simulated Pastry node once routing
+// state is lazily allocated. A node's stream is only used for nonces and
+// the randomized-routing bias draw, neither of which needs that much
+// state, so Config.CompactRand swaps in a splitmix64 source (one uint64
+// of state, ~150× smaller).
+//
+// The two sources produce DIFFERENT streams for the same seed, so the
+// flag must never be enabled for a tier whose recorded tables predate it:
+// the Small/Full experiment tiers keep the Go 1 source (their seed-42
+// tables are pinned byte-for-byte), and only the bulk-constructed
+// Large/Huge tiers — whose output is new — run compact.
+
+// splitmix64 implements rand.Source64 using the SplitMix64 finalizer
+// (Steele et al., "Fast splittable pseudorandom number generators"). It
+// passes through rand.New, so every draw helper (Int63, Float64, ...)
+// behaves exactly as with any other source.
+type splitmix64 struct {
+	state uint64
+}
+
+func newSplitmix64(seed int64) *splitmix64 { return &splitmix64{state: uint64(seed)} }
+
+// Uint64 implements rand.Source64.
+func (s *splitmix64) Uint64() uint64 {
+	s.state += 0x9E3779B97F4A7C15
+	z := s.state
+	z = (z ^ z>>30) * 0xBF58476D1CE4E5B9
+	z = (z ^ z>>27) * 0x94D049BB133111EB
+	return z ^ z>>31
+}
+
+// Int63 implements rand.Source.
+func (s *splitmix64) Int63() int64 { return int64(s.Uint64() >> 1) }
+
+// Seed implements rand.Source.
+func (s *splitmix64) Seed(seed int64) { s.state = uint64(seed) }

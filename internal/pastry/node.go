@@ -41,6 +41,12 @@ type Config struct {
 	Bias float64
 	// Seed drives this node's routing randomness.
 	Seed int64
+	// CompactRand replaces the node's Go 1 lagged-Fibonacci random
+	// source (~4.9 KiB of state) with a splitmix64 source (8 bytes).
+	// The streams differ, so this must only be enabled for tiers whose
+	// recorded output does not predate the flag; the bulk-constructed
+	// Large/Huge tiers use it (see compactrand.go).
+	CompactRand bool
 }
 
 // DefaultConfig returns the paper's typical parameters.
@@ -160,20 +166,43 @@ func New(cfg Config, nodeID id.Node, tr transport.Transport, clock transport.Clo
 		app = NopApp{}
 	}
 	n := &Node{
-		cfg:      cfg,
-		ref:      wire.NodeRef{ID: nodeID, Addr: tr.Addr()},
-		tr:       tr,
-		clock:    clock,
-		app:      app,
-		rt:       NewRoutingTable(nodeID, cfg.B),
-		leaf:     NewLeafSet(nodeID, cfg.L),
-		nbhd:     NewNeighborhood(cfg.M),
-		rng:      rand.New(rand.NewSource(cfg.Seed)),
-		lastSeen: make(map[id.Node]time.Duration),
-		suspect:  make(map[id.Node]time.Duration),
+		cfg:   cfg,
+		ref:   wire.NodeRef{ID: nodeID, Addr: tr.Addr()},
+		tr:    tr,
+		clock: clock,
+		app:   app,
+		rt:    NewRoutingTable(nodeID, cfg.B),
+		leaf:  NewLeafSet(nodeID, cfg.L),
+		nbhd:  NewNeighborhood(cfg.M),
 	}
 	tr.SetHandler(n.handle)
 	return n
+}
+
+// rand returns the node's seeded random stream, created on first draw.
+// Laziness matters at scale: a bulk-constructed node that never routes
+// traffic of its own never draws, so it never pays for the stream state
+// (~4.9 KiB under the default Go 1 source). Deferring creation cannot
+// change any result — the stream starts at the same seed whenever it is
+// first needed. Lock held.
+func (n *Node) rand() *rand.Rand {
+	if n.rng == nil {
+		if n.cfg.CompactRand {
+			n.rng = rand.New(newSplitmix64(n.cfg.Seed))
+		} else {
+			n.rng = rand.New(rand.NewSource(n.cfg.Seed))
+		}
+	}
+	return n.rng
+}
+
+// sawNow records when a peer was last directly heard from, allocating the
+// tracking map on first use. Lock held.
+func (n *Node) sawNow(peer id.Node) {
+	if n.lastSeen == nil {
+		n.lastSeen = make(map[id.Node]time.Duration)
+	}
+	n.lastSeen[peer] = n.clock.Now()
 }
 
 // SetApp installs the application layer. It must be called before the
@@ -255,7 +284,7 @@ func (n *Node) joinTimedOut() {
 
 func (n *Node) nextNonce() uint64 {
 	n.nonceSeq++
-	return uint64(n.rng.Int63())<<8 | n.nonceSeq&0xff
+	return uint64(n.rand().Int63())<<8 | n.nonceSeq&0xff
 }
 
 // Route injects a message keyed by key into the overlay from this node.
@@ -285,7 +314,7 @@ func (n *Node) Clock() transport.Clock { return n.clock }
 func (n *Node) Rand() uint64 {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	return uint64(n.rng.Int63())
+	return uint64(n.rand().Int63())
 }
 
 // Reachable consults the transport-level failure detector (when
@@ -338,6 +367,14 @@ func (n *Node) StateSize() (rt, leaf, nbhd int) {
 }
 
 // RoutingTableRows returns the populated row count.
+// RoutingEntry returns the routing-table entry at (row, col), if
+// populated (used by construction-equivalence tests and diagnostics).
+func (n *Node) RoutingEntry(row, col int) (wire.NodeRef, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.rt.Get(row, col)
+}
+
 func (n *Node) RoutingTableRows() int {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -408,7 +445,7 @@ func (n *Node) noteAlive(ref wire.NodeRef) {
 		return
 	}
 	delete(n.suspect, ref.ID) // direct contact clears suspicion
-	n.lastSeen[ref.ID] = n.clock.Now()
+	n.sawNow(ref.ID)
 	n.considerLocked(ref)
 }
 
@@ -631,7 +668,7 @@ func (n *Node) nextHopRandomized(key id.Node) (wire.NodeRef, bool) {
 		bias = 0.85
 	}
 	idx := 0
-	for idx < len(cands)-1 && n.rng.Float64() > bias {
+	for idx < len(cands)-1 && n.rand().Float64() > bias {
 		idx++
 	}
 	return cands[idx].ref, false
@@ -713,7 +750,7 @@ func (n *Node) noteJoinContact(ref wire.NodeRef) {
 		n.joinSeen[ref.ID] = true
 	}
 	n.considerLocked(ref)
-	n.lastSeen[ref.ID] = n.clock.Now()
+	n.sawNow(ref.ID)
 }
 
 // handleNeighborhoodReply folds node A's neighborhood set in. Lock held.
@@ -732,7 +769,7 @@ func (n *Node) handleLeafSetReply(m wire.LeafSetReply) []func() {
 	if n.considerLocked(m.From) {
 		changed = true
 	}
-	n.lastSeen[m.From.ID] = n.clock.Now()
+	n.sawNow(m.From.ID)
 	for _, ref := range m.Leaves {
 		if ref.ID == n.ref.ID {
 			continue
@@ -743,7 +780,7 @@ func (n *Node) handleLeafSetReply(m wire.LeafSetReply) []func() {
 		if n.considerLocked(ref) {
 			changed = true
 		}
-		n.lastSeen[ref.ID] = n.clock.Now()
+		n.sawNow(ref.ID)
 	}
 	var acts []func()
 	if m.Terminal && !n.joined {
@@ -789,7 +826,7 @@ func (n *Node) completeJoinLocked() []func() {
 
 // handleAnnounce folds a newly joined node into local state. Lock held.
 func (n *Node) handleAnnounce(m wire.Announce) []func() {
-	n.lastSeen[m.From.ID] = n.clock.Now()
+	n.sawNow(m.From.ID)
 	if n.considerLocked(m.From) {
 		app := n.app
 		return []func(){app.LeafSetChanged}
@@ -823,7 +860,7 @@ func (n *Node) keepAliveTick() {
 		last, ok := n.lastSeen[m.ID]
 		if !ok {
 			// First sighting without traffic: start the silence clock.
-			n.lastSeen[m.ID] = now
+			n.sawNow(m.ID)
 		} else if now-last > n.cfg.FailTimeout {
 			dead = append(dead, m)
 			continue
@@ -874,6 +911,9 @@ func (n *Node) declareDeadLocked(ref wire.NodeRef) []func() {
 // removeDeadLocked purges a node from all local state and requests a lazy
 // routing-table repair for the vacated slot. Lock held.
 func (n *Node) removeDeadLocked(dead id.Node) bool {
+	if n.suspect == nil {
+		n.suspect = make(map[id.Node]time.Duration)
+	}
 	n.suspect[dead] = n.clock.Now()
 	inLeaf := n.leaf.Remove(dead)
 	row, col, ok := n.rt.coords(dead)
@@ -986,9 +1026,9 @@ func (n *Node) Recover() {
 	n.joined = true
 	known := n.leaf.Members()
 	// The world moved on while we were gone: our view of who is alive is
-	// stale, so restart the silence clocks.
-	n.lastSeen = make(map[id.Node]time.Duration)
-	n.suspect = make(map[id.Node]time.Duration)
+	// stale, so restart the silence clocks (maps reallocate on first use).
+	n.lastSeen = nil
+	n.suspect = nil
 	req := wire.LeafSetRequest{From: n.ref}
 	ann := wire.Announce{From: n.ref}
 	for _, m := range known {

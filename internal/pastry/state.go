@@ -26,8 +26,11 @@ type entry struct {
 
 // RoutingTable is the prefix-routing structure of section 2.2: row n holds
 // nodes whose nodeIds share the first n digits with the owner but differ in
-// digit n. Rows are allocated lazily; in a network of N nodes only about
-// log_2b N rows ever populate.
+// digit n. Both the row directory and individual rows are allocated
+// lazily: in a network of N nodes only about log_2b N rows ever populate,
+// so the directory grows on demand instead of holding all ceil(128/b)
+// slots up front (at b=4 that is 32 slice headers — 768 bytes — per node,
+// which matters when simulating 100k of them).
 type RoutingTable struct {
 	owner id.Node
 	b     int
@@ -37,7 +40,29 @@ type RoutingTable struct {
 // NewRoutingTable creates an empty table for the given owner and digit
 // size b.
 func NewRoutingTable(owner id.Node, b int) *RoutingTable {
-	return &RoutingTable{owner: owner, b: b, rows: make([][]entry, id.NumDigits(b))}
+	return &RoutingTable{owner: owner, b: b}
+}
+
+// ensureRow grows the row directory through index row and materializes the
+// row itself, drawing its backing array from a when non-nil (bulk
+// construction) and the heap otherwise.
+func (t *RoutingTable) ensureRow(row int, a *Arena) []entry {
+	if row >= len(t.rows) {
+		if row >= cap(t.rows) {
+			grown := make([][]entry, row+1, max(row+1, 2*cap(t.rows)))
+			copy(grown, t.rows)
+			t.rows = grown
+		}
+		t.rows = t.rows[:row+1]
+	}
+	if t.rows[row] == nil {
+		if a != nil {
+			t.rows[row] = a.entryRow(1 << t.b)
+		} else {
+			t.rows[row] = make([]entry, 1<<t.b)
+		}
+	}
+	return t.rows[row]
 }
 
 // coords returns the (row, col) slot where ref belongs, or ok=false when
@@ -59,10 +84,7 @@ func (t *RoutingTable) Consider(ref wire.NodeRef, prox float64) bool {
 	if !ok {
 		return false
 	}
-	if t.rows[row] == nil {
-		t.rows[row] = make([]entry, 1<<t.b)
-	}
-	slot := &t.rows[row][col]
+	slot := &t.ensureRow(row, nil)[col]
 	if slot.ref.IsZero() {
 		*slot = entry{ref, prox}
 		return true
@@ -104,7 +126,7 @@ func (t *RoutingTable) Lookup(key id.Node) (wire.NodeRef, bool) {
 // Remove deletes the entry for node n, returning whether it was present.
 func (t *RoutingTable) Remove(n id.Node) bool {
 	row, col, ok := t.coords(n)
-	if !ok || t.rows[row] == nil {
+	if !ok || row >= len(t.rows) || t.rows[row] == nil {
 		return false
 	}
 	if t.rows[row][col].ref.ID != n {
@@ -128,8 +150,9 @@ func (t *RoutingTable) Row(r int) []wire.NodeRef {
 	return out
 }
 
-// NumRows returns the table's row capacity (ceil(128/b)).
-func (t *RoutingTable) NumRows() int { return len(t.rows) }
+// NumRows returns the table's row capacity (ceil(128/b)). Rows past the
+// lazily-grown directory exist logically; they are simply all-empty.
+func (t *RoutingTable) NumRows() int { return id.NumDigits(t.b) }
 
 // PopulatedRows returns the index one past the last non-empty row.
 func (t *RoutingTable) PopulatedRows() int {

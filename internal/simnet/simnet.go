@@ -526,9 +526,18 @@ func (e *Endpoint) Send(to string, m wire.Msg) error {
 		return fmt.Errorf("simnet: no endpoint at %q", to)
 	}
 	n := e.net
-	rng := n.rng
-	if n.windowed {
-		rng = e.rand()
+	// The jitter/loss stream is only materialized when a draw can actually
+	// happen: a lossless, jitter-free net (the common large-scale
+	// configuration) never touches randomness on the send path, and the
+	// per-endpoint stream alone would otherwise cost ~4.9 KiB per node.
+	// Laziness cannot change results — a stream that is never drawn from
+	// produces no observable behaviour.
+	var rng *rand.Rand
+	if n.cfg.DropProb > 0 || n.cfg.JitterFrac > 0 {
+		rng = n.rng
+		if n.windowed {
+			rng = e.rand()
+		}
 	}
 	if n.cfg.DropProb > 0 && rng.Float64() < n.cfg.DropProb {
 		return nil

@@ -1,0 +1,58 @@
+package workload
+
+import "testing"
+
+func TestClientMuxDeterminismAndSpread(t *testing.T) {
+	const pop = 1_000_000
+	a := NewClientMux(pop, 42)
+	b := NewClientMux(pop, 42)
+	other := NewClientMux(pop, 43)
+
+	entrySeen := map[int]bool{}
+	differ := false
+	for i := uint64(0); i < 4096; i++ {
+		ca, cb := a.Client(i), b.Client(i)
+		if ca != cb {
+			t.Fatalf("t=%d: same seed diverges: %d vs %d", i, ca, cb)
+		}
+		if ca < 0 || ca >= pop {
+			t.Fatalf("client %d out of population", ca)
+		}
+		if a.EntryNode(ca, 100) != b.EntryNode(cb, 100) {
+			t.Fatalf("t=%d: entry node diverges", i)
+		}
+		if a.Key(ca, i) != b.Key(cb, i) {
+			t.Fatalf("t=%d: key stream diverges", i)
+		}
+		if other.Client(i) != ca {
+			differ = true
+		}
+		entrySeen[a.EntryNode(ca, 100)] = true
+	}
+	if !differ {
+		t.Fatal("different seeds produced identical client streams")
+	}
+	// Uniform folding must reach essentially every entry node.
+	if len(entrySeen) < 95 {
+		t.Fatalf("only %d/100 entry nodes used", len(entrySeen))
+	}
+
+	// A client's entry node is stable and its key stream is per-client:
+	// two clients' streams must not collide.
+	if a.EntryNode(7, 100) != a.EntryNode(7, 100) {
+		t.Fatal("entry node unstable")
+	}
+	if a.Key(7, 0) == a.Key(8, 0) {
+		t.Fatal("distinct clients share a key stream")
+	}
+}
+
+func TestClientMuxDegenerate(t *testing.T) {
+	m := NewClientMux(0, 1) // clamps to one client
+	if m.Population != 1 {
+		t.Fatalf("Population = %d", m.Population)
+	}
+	if c := m.Client(9); c != 0 {
+		t.Fatalf("single-client mux returned client %d", c)
+	}
+}
