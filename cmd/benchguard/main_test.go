@@ -1,0 +1,102 @@
+package main
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseWatches(t *testing.T) {
+	cases := []struct {
+		name string
+		spec string
+		want []watch
+	}{
+		{
+			name: "bare benchmark",
+			spec: "Insert4KiB:1.25",
+			want: []watch{{kind: "bench", name: "Insert4KiB", tol: 1.25}},
+		},
+		{
+			name: "exp defaults to Small scale",
+			spec: "exp:E15:2.0",
+			want: []watch{{kind: "exp", name: "E15", scale: "Small", tol: 2.0}},
+		},
+		{
+			name: "exp with explicit scale",
+			spec: "exp:E1@large:2.5",
+			want: []watch{{kind: "exp", name: "E1", scale: "large", tol: 2.5}},
+		},
+		{
+			name: "eps requires and parses scale",
+			spec: "eps:E1@large:2.5",
+			want: []watch{{kind: "eps", name: "E1", scale: "large", tol: 2.5}},
+		},
+		{
+			name: "mem probe",
+			spec: "mem:analytic_build_20000:1.30",
+			want: []watch{{kind: "mem", name: "analytic_build_20000", tol: 1.30}},
+		},
+		{
+			name: "mixed list with whitespace and empty items",
+			spec: " Insert4KiB:1.25, ,exp:E18:2.0,mem:analytic_build_20000:1.3 ",
+			want: []watch{
+				{kind: "bench", name: "Insert4KiB", tol: 1.25},
+				{kind: "exp", name: "E18", scale: "Small", tol: 2.0},
+				{kind: "mem", name: "analytic_build_20000", tol: 1.3},
+			},
+		},
+		{
+			name: "the full CI watch line",
+			spec: "Insert4KiB:1.25,Lookup4KiB:1.25,exp:E15:2.0,exp:E18:2.0,exp:E1@large:2.5,eps:E1@large:2.5,mem:analytic_build_20000:1.30",
+			want: []watch{
+				{kind: "bench", name: "Insert4KiB", tol: 1.25},
+				{kind: "bench", name: "Lookup4KiB", tol: 1.25},
+				{kind: "exp", name: "E15", scale: "Small", tol: 2.0},
+				{kind: "exp", name: "E18", scale: "Small", tol: 2.0},
+				{kind: "exp", name: "E1", scale: "large", tol: 2.5},
+				{kind: "eps", name: "E1", scale: "large", tol: 2.5},
+				{kind: "mem", name: "analytic_build_20000", tol: 1.30},
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := parseWatches(tc.spec)
+			if err != nil {
+				t.Fatalf("parseWatches(%q): %v", tc.spec, err)
+			}
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Fatalf("parseWatches(%q)\n got %+v\nwant %+v", tc.spec, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseWatchesErrors(t *testing.T) {
+	cases := []struct {
+		name    string
+		spec    string
+		errPart string
+	}{
+		{"missing tolerance", "Insert4KiB", "want <name>:<tolerance>"},
+		{"non-numeric tolerance", "Insert4KiB:fast", "bad tolerance"},
+		{"zero tolerance", "Insert4KiB:0", "bad tolerance"},
+		{"negative tolerance", "exp:E15:-1", "bad tolerance"},
+		{"eps without scale", "eps:E1:2.0", "eps watches need <id>@<scale>"},
+		{"empty list", "", "empty watch list"},
+		{"only separators", " , ,, ", "empty watch list"},
+		{"bad item poisons the list", "Insert4KiB:1.25,Lookup4KiB", "want <name>:<tolerance>"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := parseWatches(tc.spec)
+			if err == nil {
+				t.Fatalf("parseWatches(%q) = %+v, want error containing %q", tc.spec, got, tc.errPart)
+			}
+			if !strings.Contains(err.Error(), tc.errPart) {
+				t.Fatalf("parseWatches(%q) error = %q, want it to contain %q", tc.spec, err, tc.errPart)
+			}
+		})
+	}
+}

@@ -119,11 +119,7 @@ func main() {
 }
 
 func deriveBroker(seed string) (*past.Broker, error) {
-	h := uint64(1469598103934665603)
-	for _, b := range []byte(seed) {
-		h = (h ^ uint64(b)) * 1099511628211
-	}
-	return seccrypt.NewBroker(seccrypt.DetRand(h))
+	return past.DeriveBroker(seed)
 }
 
 // loadOrCreateCard returns the client card plus a function persisting its

@@ -1,4 +1,8 @@
-// Command pastnode runs one PAST storage node over TCP.
+// Command pastnode runs one PAST storage node over TCP as a long-lived
+// daemon: it bootstraps into the network with retry and backoff, keeps
+// its membership fresh, persists replicas to disk when given -data (and
+// re-verifies them against their certificates on restart), and shuts
+// down cleanly on SIGINT/SIGTERM.
 //
 // All nodes of a deployment must share the same -broker-seed: the broker
 // key pair is derived deterministically from it, standing in for the real
@@ -7,36 +11,51 @@
 //
 // Start the first node of a network:
 //
-//	pastnode -listen 127.0.0.1:7001 -broker-seed demo -bootstrap
+//	pastnode -listen 127.0.0.1:7001 -broker-seed demo -bootstrap -data /var/lib/past/n1
 //
-// Add more nodes:
+// Add more nodes (a comma list or a seeds file; all are tried, with
+// retry until one answers):
 //
-//	pastnode -listen 127.0.0.1:7002 -broker-seed demo -join 127.0.0.1:7001
+//	pastnode -listen 127.0.0.1:7002 -broker-seed demo -join 127.0.0.1:7001 -data /var/lib/past/n2
+//	pastnode -listen 127.0.0.1:7003 -broker-seed demo -join-file seeds.txt
 //
-// Then use pastctl to insert and fetch files.
+// Then use pastctl to insert and fetch files. Stop a node with SIGINT or
+// SIGTERM; with -data it announces its departure, flushes, and restarts
+// later with its replicas intact.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"past"
 	"past/internal/seccrypt"
+	"past/internal/tasks"
 )
 
 func main() {
 	var (
 		listen     = flag.String("listen", "127.0.0.1:0", "TCP listen address")
-		brokerSeed = flag.String("broker-seed", "", "shared secret all nodes of this network derive the broker from (required)")
+		brokerSeed = flag.String("broker-seed", "", "shared secret all nodes of this network derive the broker from (required); det:<n> selects the deterministic stream n")
 		bootstrap  = flag.Bool("bootstrap", false, "start a brand-new network")
-		join       = flag.String("join", "", "address of an existing node to join via")
+		join       = flag.String("join", "", "comma-separated addresses of existing nodes to join via")
+		joinFile   = flag.String("join-file", "", "file with one bootstrap address per line (# comments allowed)")
+		dataDir    = flag.String("data", "", "directory for persistent replica storage (empty = in-memory)")
 		capacity   = flag.Int64("capacity", 256<<20, "contributed storage in bytes")
 		quota      = flag.Int64("quota", 1<<40, "this node's client usage quota in bytes")
 		k          = flag.Int("k", 3, "default replication factor")
+		idSeed     = flag.Uint64("id-seed", 0, "deterministic card/nodeId seed (0 = random identity)")
+		caching    = flag.Bool("caching", true, "cache popular files in unused storage")
+		keepAlive  = flag.Duration("keepalive", 5*time.Second, "overlay keep-alive (and anti-entropy trigger) interval")
+		failAfter  = flag.Duration("failtimeout", 0, "declare a silent peer dead after this long (0 = 3x keepalive)")
+		sweepEvery = flag.Duration("anti-entropy", 10*time.Second, "minimum interval between periodic anti-entropy sweeps")
 		status     = flag.Duration("status", 30*time.Second, "status print interval (0 disables)")
 	)
 	flag.Parse()
@@ -44,71 +63,135 @@ func main() {
 		fmt.Fprintln(os.Stderr, "pastnode: -broker-seed is required")
 		os.Exit(2)
 	}
-	if *bootstrap == (*join != "") {
-		fmt.Fprintln(os.Stderr, "pastnode: pass exactly one of -bootstrap or -join")
+	seeds, err := bootstrapSeeds(*join, *joinFile)
+	if err != nil {
+		fatal(err)
+	}
+	if *bootstrap == (len(seeds) > 0) {
+		fmt.Fprintln(os.Stderr, "pastnode: pass exactly one of -bootstrap or -join/-join-file")
 		os.Exit(2)
 	}
-	broker, card, err := deriveIdentity(*brokerSeed, *quota, *capacity)
+	broker, card, err := deriveIdentity(*brokerSeed, *idSeed, *quota, *capacity)
 	if err != nil {
 		fatal(err)
 	}
 	scfg := past.DefaultStorageConfig()
 	scfg.K = *k
 	scfg.Capacity = *capacity
+	scfg.Caching = *caching
+	scfg.AntiEntropyEvery = *sweepEvery
+	if *failAfter <= 0 {
+		*failAfter = 3 * *keepAlive
+	}
 	peer, err := past.ListenPeer(past.PeerConfig{
-		Listen:    *listen,
-		Card:      card,
-		BrokerPub: broker.PublicKey(),
-		Storage:   scfg,
+		Listen:      *listen,
+		Card:        card,
+		BrokerPub:   broker.PublicKey(),
+		Storage:     scfg,
+		DataDir:     *dataDir,
+		KeepAlive:   *keepAlive,
+		FailTimeout: *failAfter,
 	})
 	if err != nil {
 		fatal(err)
 	}
 	defer peer.Close()
 	fmt.Printf("pastnode: nodeId %s listening on %s\n", peer.Ref().ID, peer.Addr())
+	if *dataDir != "" {
+		recovered, quarantined := peer.Recovered()
+		fmt.Printf("pastnode: recovered %d files from %s (%d quarantined)\n", recovered, *dataDir, quarantined)
+	}
+
+	run := tasks.New(func(format string, args ...any) {
+		fmt.Printf("pastnode: "+format+"\n", args...)
+	})
 	if *bootstrap {
 		peer.Bootstrap()
 		fmt.Println("pastnode: bootstrapped new PAST network")
 	} else {
-		if err := peer.Join(*join); err != nil {
-			fatal(fmt.Errorf("join via %s: %w", *join, err))
-		}
-		fmt.Printf("pastnode: joined network via %s\n", *join)
+		// Join as a run-until-success task: a node started before its
+		// seeds keeps retrying with backoff instead of dying, and a
+		// restarted node re-enters the network the same way.
+		run.Until("bootstrap", 500*time.Millisecond, 15*time.Second, func(context.Context) error {
+			if err := peer.JoinAny(seeds); err != nil {
+				return err
+			}
+			fmt.Printf("pastnode: joined network (%d peers known)\n", peer.KnownPeers())
+			return nil
+		})
+		// Membership sync: if every neighbor vanishes (partition healed
+		// the wrong way, mass restart), rejoin through the static seeds
+		// rather than lingering isolated. Keep-alive and anti-entropy
+		// already run inside the node on the real clock.
+		run.Every("membership-sync", 4**keepAlive, func(context.Context) error {
+			if peer.KnownPeers() > 0 {
+				return nil
+			}
+			if err := peer.JoinAny(seeds); err != nil {
+				return fmt.Errorf("isolated; rejoin failed: %w", err)
+			}
+			fmt.Printf("pastnode: rejoined network (%d peers known)\n", peer.KnownPeers())
+			return nil
+		})
 	}
+	if *status > 0 {
+		run.Every("status", *status, func(context.Context) error {
+			fmt.Printf("pastnode: storing %d files, %d peers known\n", peer.StoredFiles(), peer.KnownPeers())
+			return nil
+		})
+	}
+	run.Start()
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	if *status > 0 {
-		ticker := time.NewTicker(*status)
-		defer ticker.Stop()
-		for {
-			select {
-			case <-ticker.C:
-				fmt.Printf("pastnode: storing %d files\n", peer.StoredFiles())
-			case <-sig:
-				fmt.Println("pastnode: shutting down")
-				return
-			}
+	s := <-sig
+	fmt.Printf("pastnode: %s: shutting down\n", s)
+	if !run.Stop(10 * time.Second) {
+		fmt.Println("pastnode: background tasks did not drain in time")
+	}
+	// peer.Close (deferred) announces departure and closes the transport.
+}
+
+// bootstrapSeeds merges the -join list and the -join-file contents.
+func bootstrapSeeds(join, joinFile string) ([]string, error) {
+	var seeds []string
+	for _, s := range strings.Split(join, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			seeds = append(seeds, s)
 		}
 	}
-	<-sig
-	fmt.Println("pastnode: shutting down")
+	if joinFile != "" {
+		data, err := os.ReadFile(joinFile)
+		if err != nil {
+			return nil, fmt.Errorf("read -join-file: %w", err)
+		}
+		for _, line := range strings.Split(string(data), "\n") {
+			line = strings.TrimSpace(line)
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			seeds = append(seeds, line)
+		}
+	}
+	return seeds, nil
 }
 
 // deriveIdentity derives the shared broker from the seed and issues this
 // node's card. In a real deployment the broker is a third party and cards
 // arrive out of band (section 2.1); the shared seed is the demo stand-in.
-func deriveIdentity(seed string, quota, capacity int64) (*seccrypt.Broker, *seccrypt.Smartcard, error) {
-	h := uint64(1469598103934665603)
-	for _, b := range []byte(seed) {
-		h = (h ^ uint64(b)) * 1099511628211
-	}
-	broker, err := seccrypt.NewBroker(seccrypt.DetRand(h))
+// idSeed non-zero pins the card (and so the nodeId) to a deterministic
+// stream — how the conformance harness reproduces the simulator's
+// identities in real processes.
+func deriveIdentity(seed string, idSeed uint64, quota, capacity int64) (*seccrypt.Broker, *seccrypt.Smartcard, error) {
+	broker, err := past.DeriveBroker(seed)
 	if err != nil {
 		return nil, nil, err
 	}
-	// The card itself must be unique per process: mix in time and pid.
-	card, err := broker.IssueCard(quota, capacity, 0, nil)
+	var rng io.Reader
+	if idSeed != 0 {
+		rng = seccrypt.DetRand(idSeed)
+	}
+	card, err := broker.IssueCard(quota, capacity, 0, rng)
 	if err != nil {
 		return nil, nil, err
 	}

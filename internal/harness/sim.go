@@ -1,0 +1,122 @@
+package harness
+
+import (
+	"sort"
+
+	"past/internal/cluster"
+	"past/internal/id"
+	pastcore "past/internal/past"
+	"past/internal/pastry"
+	"past/internal/seccrypt"
+	"past/internal/simnet"
+	"past/internal/wire"
+)
+
+// simConfig is the storage configuration both stacks run under: caching
+// off (a cache hit would make hop counts depend on lookup timing, which
+// the real stack cannot reproduce), everything else at paper defaults.
+func simConfig(spec *Spec) pastcore.Config {
+	cfg := pastcore.DefaultConfig()
+	cfg.K = spec.K
+	cfg.Capacity = spec.Capacity
+	cfg.Caching = false
+	return cfg
+}
+
+// RunSim drives the Spec through a simulated cluster of Nodes storage
+// nodes plus one capacity-zero client (the same membership the real
+// cluster gets), using the deterministic identity derivation the
+// experiments use: broker from DetRand(seed+1), card i from
+// DetRand(seed<<20+i+7). It returns the protocol Outcome plus the
+// store-level holders map (fileId → sorted nodeIds) for the k-replica
+// invariant check.
+func RunSim(spec *Spec) (Outcome, map[string][]string, error) {
+	out := Outcome{Placement: map[string][]string{}}
+	broker, err := seccrypt.NewBroker(seccrypt.DetRand(uint64(spec.Seed) + 1))
+	if err != nil {
+		return out, nil, err
+	}
+	n := spec.Nodes + 1
+	cards := make([]*seccrypt.Smartcard, n)
+	for i := range cards {
+		capi := spec.Capacity
+		if i == spec.ClientIndex() {
+			capi = 0
+		}
+		cards[i], err = broker.IssueCard(1<<50, capi, 0, seccrypt.DetRand(uint64(spec.Seed)<<20+uint64(i)+7))
+		if err != nil {
+			return out, nil, err
+		}
+	}
+	cfg := simConfig(spec)
+	pnodes := make([]*pastcore.Node, n)
+	c, err := cluster.Build(cluster.Options{
+		N:      n,
+		Pastry: pastry.DefaultConfig(),
+		Seed:   spec.Seed,
+		NodeID: func(i int) id.Node { return cards[i].NodeID() },
+		AppFactory: func(i int, nd *pastry.Node, ep *simnet.Endpoint) pastry.App {
+			nodeCfg := cfg
+			if i == spec.ClientIndex() {
+				nodeCfg.Capacity = 0
+			}
+			pnodes[i] = pastcore.NewNode(nodeCfg, nd, cards[i], broker.PublicKey())
+			return pnodes[i]
+		},
+	})
+	if err != nil {
+		return out, nil, err
+	}
+	client, card := pnodes[spec.ClientIndex()], cards[spec.ClientIndex()]
+
+	fileIDs := make([]id.File, len(spec.Items))
+	ok := make([]bool, len(spec.Items))
+	for i, it := range spec.Items {
+		var res *pastcore.InsertResult
+		client.InsertSalted(card, it.Name, it.Data, spec.K, it.Salt, func(r pastcore.InsertResult) { res = &r })
+		c.Net.RunUntil(func() bool { return res != nil }, 50_000_000)
+		if res == nil || res.Err != nil {
+			continue
+		}
+		out.Delivered++
+		fileIDs[i], ok[i] = res.FileID, true
+		out.Placement[res.FileID.String()] = receiptHolders(res.Receipts)
+	}
+	for i := range spec.Items {
+		if !ok[i] {
+			out.Hops = append(out.Hops, -1)
+			continue
+		}
+		var res *pastcore.LookupResult
+		client.Lookup(fileIDs[i], func(r pastcore.LookupResult) { res = &r })
+		c.Net.RunUntil(func() bool { return res != nil }, 50_000_000)
+		if res == nil || res.Err != nil {
+			out.Hops = append(out.Hops, -1)
+			continue
+		}
+		out.Lookups++
+		out.Hops = append(out.Hops, res.Hops)
+	}
+
+	holders := make(map[string][]string)
+	for i := 0; i < spec.Nodes; i++ {
+		nodeID := pnodes[i].Pastry().Ref().ID.String()
+		for _, f := range pnodes[i].Store().Files() {
+			holders[f.String()] = append(holders[f.String()], nodeID)
+		}
+	}
+	for f := range holders {
+		sort.Strings(holders[f])
+	}
+	return out, holders, nil
+}
+
+// receiptHolders extracts the sorted holder nodeIds from store receipts.
+func receiptHolders(receipts []wire.StoreReceipt) []string {
+	var hs []string
+	for _, r := range receipts {
+		hs = append(hs, r.StoredBy.ID.String())
+	}
+	sort.Strings(hs)
+	return hs
+}

@@ -1,0 +1,64 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"past/internal/seccrypt"
+	"past/internal/workload"
+)
+
+// Item is one file of the conformance workload. Name, Data, and Salt are
+// all deterministic functions of (spec seed, index), and the fileId is
+// H(name, owner, salt) — so the simulator and the real cluster, fed the
+// same spec through the same owner card, produce byte-identical fileIds.
+type Item struct {
+	Name string
+	Data []byte
+	Salt []byte
+}
+
+// Spec is a deterministic conformance workload: N storage nodes plus one
+// capacity-zero client, k-replicated files with sizes drawn from the
+// experiments' size distribution.
+type Spec struct {
+	Seed     int64
+	Nodes    int   // storage nodes (the client is one more overlay member)
+	K        int   // replication factor
+	Capacity int64 // per-storage-node capacity
+	Items    []Item
+}
+
+// maxItemSize caps workload draws: the size distribution has a Pareto
+// tail, and a multi-megabyte outlier would tell us nothing extra about
+// conformance while slowing the socket path.
+const maxItemSize = 256 << 10
+
+// NewSpec builds the deterministic workload. Sizes come from
+// workload.DefaultSizes (the distribution every experiment uses), data
+// bytes and salts from the deterministic stream, so two calls with equal
+// arguments are byte-identical.
+func NewSpec(seed int64, nodes, k, files int) *Spec {
+	sizes := workload.DefaultSizes(seed)
+	spec := &Spec{Seed: seed, Nodes: nodes, K: k, Capacity: 64 << 20}
+	for i := 0; i < files; i++ {
+		size := sizes.Draw()
+		if size > maxItemSize {
+			size = maxItemSize
+		}
+		data := make([]byte, size)
+		io.ReadFull(seccrypt.DetRand(uint64(seed)<<24+uint64(i)*2+11), data) //nolint:errcheck // DetRand never errors
+		salt := make([]byte, 8)
+		io.ReadFull(seccrypt.DetRand(uint64(seed)<<24+uint64(i)*2+12), salt) //nolint:errcheck
+		spec.Items = append(spec.Items, Item{
+			Name: fmt.Sprintf("conf-%d-%d.bin", seed, i),
+			Data: data,
+			Salt: salt,
+		})
+	}
+	return spec
+}
+
+// ClientIndex is the card index of the capacity-zero client: one past the
+// storage nodes, matching the simulator's node numbering.
+func (s *Spec) ClientIndex() int { return s.Nodes }

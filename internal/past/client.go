@@ -3,6 +3,7 @@ package past
 import (
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"time"
 
 	"past/internal/id"
@@ -67,6 +68,7 @@ type pendingOp struct {
 	name     string
 	data     []byte
 	k        int
+	baseSalt []byte // caller-supplied salt (InsertSalted); nil = draw from node rng
 	retries  int
 	cert     wire.FileCertificate
 	receipts []wire.StoreReceipt
@@ -175,17 +177,57 @@ func (n *Node) Insert(card *seccrypt.Smartcard, name string, data []byte, k int,
 	if k <= 0 {
 		k = n.cfg.K
 	}
-	n.startInsertAttempt(card, name, data, k, 0, cb)
+	n.startInsertAttempt(card, name, data, k, 0, nil, cb)
+}
+
+// InsertSalted is Insert with a caller-supplied certificate salt instead
+// of one drawn from the node's rng. Because the fileId is
+// H(name, owner, salt), fixing the salt fixes the fileId — this is what
+// lets the conformance harness drive the identical workload through the
+// simulator and a real-socket cluster and compare placement per fileId.
+// File-diversion retries derive follow-up salts deterministically from
+// the base salt, so even the retry trajectory is reproducible.
+func (n *Node) InsertSalted(card *seccrypt.Smartcard, name string, data []byte, k int, salt []byte, cb func(InsertResult)) {
+	if k <= 0 {
+		k = n.cfg.K
+	}
+	if len(salt) == 0 {
+		n.startInsertAttempt(card, name, data, k, 0, nil, cb)
+		return
+	}
+	n.startInsertAttempt(card, name, data, k, 0, append([]byte(nil), salt...), cb)
+}
+
+// attemptSalt maps (baseSalt, retry) to the salt for one insert attempt:
+// the base salt itself first, then an FNV-derived successor per retry.
+func attemptSalt(baseSalt []byte, retry int) []byte {
+	if retry == 0 {
+		return baseSalt
+	}
+	h := fnv.New64a()
+	h.Write(baseSalt)                                                                          //nolint:errcheck // hash.Hash never errors
+	h.Write([]byte{byte(retry), byte(retry >> 8), byte(retry >> 16), byte(retry >> 24), 0xd1}) //nolint:errcheck
+	s := h.Sum64()
+	salt := make([]byte, 8)
+	for i := range salt {
+		salt[i] = byte(s >> (8 * i))
+	}
+	return salt
 }
 
 // startInsertAttempt issues a certificate with a fresh salt and routes the
 // insert. Each retry is a "file diversion": a new salt yields a new fileId
 // targeting a different region of the ring (section 2.3).
-func (n *Node) startInsertAttempt(card *seccrypt.Smartcard, name string, data []byte, k, retry int, cb func(InsertResult)) {
-	salt := make([]byte, 8)
-	s := n.pn.Rand()
-	for i := range salt {
-		salt[i] = byte(s >> (8 * i))
+func (n *Node) startInsertAttempt(card *seccrypt.Smartcard, name string, data []byte, k, retry int, baseSalt []byte, cb func(InsertResult)) {
+	var salt []byte
+	if baseSalt != nil {
+		salt = attemptSalt(baseSalt, retry)
+	} else {
+		salt = make([]byte, 8)
+		s := n.pn.Rand()
+		for i := range salt {
+			salt[i] = byte(s >> (8 * i))
+		}
 	}
 	cert, err := card.IssueFileCertificate(name, data, k, salt, n.nowUnix())
 	if err != nil {
@@ -199,6 +241,7 @@ func (n *Node) startInsertAttempt(card *seccrypt.Smartcard, name string, data []
 		name:     name,
 		data:     data,
 		k:        k,
+		baseSalt: baseSalt,
 		retries:  retry,
 		cert:     cert,
 		seen:     make(map[id.Node]bool),
@@ -334,11 +377,11 @@ func (n *Node) finishInsert(reqID uint64, cause error) {
 			var t transport.Timer
 			t = n.pn.Clock().AfterFunc(d, func() {
 				t.Release()
-				n.startInsertAttempt(op.card, op.name, op.data, op.k, op.retries+1, op.insertCB)
+				n.startInsertAttempt(op.card, op.name, op.data, op.k, op.retries+1, op.baseSalt, op.insertCB)
 			})
 			return
 		}
-		n.startInsertAttempt(op.card, op.name, op.data, op.k, op.retries+1, op.insertCB)
+		n.startInsertAttempt(op.card, op.name, op.data, op.k, op.retries+1, op.baseSalt, op.insertCB)
 		return
 	}
 	n.mu.Lock()

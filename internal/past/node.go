@@ -21,6 +21,9 @@ type Node struct {
 	brokerPub ed25519.PublicKey
 	store     *storage.Store
 	cache     *storage.Cache
+	// disk, when set via UseDisk, persists every replica mutation; store
+	// remains the in-memory index over the on-disk set.
+	disk *storage.DiskStore
 
 	// mischief, when set, makes this node cheat on storage (experiment
 	// harness only; see SetMischief). Configured before the node handles
@@ -118,6 +121,34 @@ func NewNode(cfg Config, pn *pastry.Node, card *seccrypt.Smartcard, brokerPub ed
 	n.syncCache()
 	pn.SetApp(n)
 	return n
+}
+
+// UseDisk makes ds the node's replica store: lookups and capacity
+// accounting run against ds.Mem() (already populated by crash recovery),
+// and every replica store/delete goes through the disk first so a restart
+// finds them again. Must be called before the node handles traffic —
+// right after NewNode, before Bootstrap/Join.
+func (n *Node) UseDisk(ds *storage.DiskStore) {
+	n.disk = ds
+	n.store = ds.Mem()
+	n.syncCache()
+}
+
+// putStore writes a replica through the persistent tier when configured.
+func (n *Node) putStore(item storage.Item) error {
+	if n.disk != nil {
+		return n.disk.Put(item)
+	}
+	return n.store.Put(item)
+}
+
+// deleteStore removes a replica through the persistent tier when
+// configured.
+func (n *Node) deleteStore(f id.File) (int64, error) {
+	if n.disk != nil {
+		return n.disk.Delete(f)
+	}
+	return n.store.Delete(f)
 }
 
 // Pastry returns the underlying overlay node.
@@ -482,7 +513,7 @@ func (n *Node) handleReplicaStore(m wire.ReplicaStore) {
 	}
 	if n.accept(m.Cert.Size, m.Diverted) {
 		item := storage.Item{Cert: m.Cert, Data: m.Data, Diverted: m.Diverted, Primary: m.Primary}
-		if err := n.store.Put(item); err == nil {
+		if err := n.putStore(item); err == nil {
 			n.syncCache()
 			n.mu.Lock()
 			if m.Diverted {
@@ -774,7 +805,7 @@ func (n *Node) handleReclaimForward(m wire.ReclaimForward) {
 	if seccrypt.VerifyReclaimAuthorized(n.brokerPub, &m.Cert, &it.Cert, n.nowUnix()) != nil {
 		return // unauthorized reclaim silently ignored
 	}
-	freed, err := n.store.Delete(m.Cert.FileID)
+	freed, err := n.deleteStore(m.Cert.FileID)
 	if err != nil {
 		return
 	}
@@ -1053,7 +1084,7 @@ func (n *Node) handleReplicate(m wire.Replicate) {
 	if !n.accept(m.Cert.Size, false) {
 		return
 	}
-	if err := n.store.Put(storage.Item{Cert: m.Cert, Data: m.Data}); err == nil {
+	if err := n.putStore(storage.Item{Cert: m.Cert, Data: m.Data}); err == nil {
 		n.syncCache()
 	}
 }

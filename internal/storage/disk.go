@@ -28,29 +28,76 @@ type diskMeta struct {
 	Primary  wire.NodeRef         `json:"primary"`
 }
 
+// VerifyFunc re-checks one entry recovered from disk before it is served
+// again. Returning an error quarantines the entry. The hook keeps this
+// package free of crypto: the caller (the node) supplies certificate and
+// content-hash verification from seccrypt.
+type VerifyFunc func(cert wire.FileCertificate, data []byte) error
+
+// RecoveryReport summarizes what a disk-store open found on disk.
+type RecoveryReport struct {
+	Recovered   int // entries re-verified and indexed
+	Quarantined int // corrupt or unverifiable entries set aside
+}
+
 // OpenDiskStore opens (creating if needed) a disk store rooted at dir with
 // the given capacity. Existing contents are indexed and count against the
-// capacity; files that exceed it are not loaded.
+// capacity; corrupt entries are skipped.
 func OpenDiskStore(dir string, capacity int64) (*DiskStore, error) {
+	ds, _, err := OpenDiskStoreVerify(dir, capacity, nil)
+	return ds, err
+}
+
+// OpenDiskStoreVerify is OpenDiskStore with crash recovery: every entry on
+// disk is reloaded, size-checked, and passed through verify (when
+// non-nil) before being served again. Entries that fail — truncated by a
+// crash, bit-rotted, or with a certificate that no longer checks out —
+// are quarantined by renaming them with a .corrupt suffix so they stop
+// being served but remain on disk for inspection. Half-written .tmp files
+// left by a crash mid-write are removed.
+func OpenDiskStoreVerify(dir string, capacity int64, verify VerifyFunc) (*DiskStore, RecoveryReport, error) {
+	var rep RecoveryReport
 	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("storage: open disk store: %w", err)
+		return nil, rep, fmt.Errorf("storage: open disk store: %w", err)
 	}
 	ds := &DiskStore{dir: dir, mem: NewStore(capacity)}
 	entries, err := os.ReadDir(dir)
 	if err != nil {
-		return nil, fmt.Errorf("storage: scan disk store: %w", err)
+		return nil, rep, fmt.Errorf("storage: scan disk store: %w", err)
 	}
 	for _, e := range entries {
-		if filepath.Ext(e.Name()) != ".json" {
+		name := e.Name()
+		if filepath.Ext(name) == ".tmp" {
+			os.Remove(filepath.Join(dir, name)) //nolint:errcheck // crash debris
 			continue
 		}
-		meta, data, err := ds.load(e.Name()[:len(e.Name())-len(".json")])
-		if err != nil {
-			continue // skip corrupt entries; they are not served
+		if filepath.Ext(name) != ".json" {
+			continue
 		}
-		_ = ds.mem.Put(Item{Cert: meta.Cert, Data: data, Diverted: meta.Diverted, Primary: meta.Primary})
+		base := name[:len(name)-len(".json")]
+		meta, data, err := ds.load(base)
+		if err == nil && verify != nil {
+			err = verify(meta.Cert, data)
+		}
+		if err != nil {
+			ds.quarantine(base)
+			rep.Quarantined++
+			continue
+		}
+		if ds.mem.Put(Item{Cert: meta.Cert, Data: data, Diverted: meta.Diverted, Primary: meta.Primary}) == nil {
+			rep.Recovered++
+		}
 	}
-	return ds, nil
+	return ds, rep, nil
+}
+
+// quarantine renames base's .bin/.json pair with a .corrupt suffix so the
+// entry is no longer loaded but stays available for post-mortem.
+func (ds *DiskStore) quarantine(base string) {
+	for _, ext := range []string{".bin", ".json"} {
+		p := filepath.Join(ds.dir, base+ext)
+		os.Rename(p, p+".corrupt") //nolint:errcheck // best-effort; a missing half is already unservable
+	}
 }
 
 // Dir returns the store's root directory.

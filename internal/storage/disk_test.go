@@ -104,6 +104,57 @@ func TestDiskStoreSkipsCorruptEntries(t *testing.T) {
 	}
 }
 
+func TestDiskStoreVerifyQuarantines(t *testing.T) {
+	dir := t.TempDir()
+	ds, _ := OpenDiskStore(dir, 1<<20)
+	good, bad := diskItem(1, 40), diskItem(2, 40)
+	ds.Put(good)
+	ds.Put(bad)
+	// Same length, flipped content: the size check alone cannot catch it.
+	flipped := append([]byte(nil), bad.Data...)
+	flipped[7] ^= 0xff
+	bin := filepath.Join(dir, bad.Cert.FileID.String()+".bin")
+	if err := os.WriteFile(bin, flipped, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Leave crash debris behind too.
+	if err := os.WriteFile(filepath.Join(dir, "half.bin.tmp"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	verify := func(cert wire.FileCertificate, data []byte) error {
+		want := diskItem(uint64(data[0]), len(data)) // reconstruct expected pattern from first byte
+		if string(data) != string(want.Data) {
+			return errors.New("content mismatch")
+		}
+		return nil
+	}
+	ds2, rep, err := OpenDiskStoreVerify(dir, 1<<20, verify)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Recovered != 1 || rep.Quarantined != 1 {
+		t.Fatalf("report = %+v, want 1 recovered / 1 quarantined", rep)
+	}
+	if !ds2.Has(good.Cert.FileID) || ds2.Has(bad.Cert.FileID) {
+		t.Fatal("wrong entries served after verify")
+	}
+	// The corrupt pair is renamed aside, not deleted; the .tmp is gone.
+	if _, err := os.Stat(bin + ".corrupt"); err != nil {
+		t.Fatalf("quarantined bin missing: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "half.bin.tmp")); !os.IsNotExist(err) {
+		t.Fatal("crash debris .tmp not cleaned up")
+	}
+	// A re-open must not resurrect the quarantined entry.
+	ds3, rep3, err := OpenDiskStoreVerify(dir, 1<<20, verify)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep3.Recovered != 1 || rep3.Quarantined != 0 || ds3.Has(bad.Cert.FileID) {
+		t.Fatalf("second open report = %+v", rep3)
+	}
+}
+
 func TestDiskStoreCapacity(t *testing.T) {
 	ds, _ := OpenDiskStore(t.TempDir(), 100)
 	if err := ds.Put(diskItem(1, 60)); err != nil {

@@ -1,0 +1,231 @@
+// Package tasks is the small background-task scheduler that turns
+// cmd/pastnode from a demo into a long-lived daemon. A Runner owns a set
+// of named tasks — periodic maintenance loops (status reporting,
+// membership sync) and run-until-success startup jobs (bootstrap with
+// retry and backoff) — each on its own goroutine, all cancelled together
+// by one graceful Stop that waits for in-flight runs to drain.
+//
+// The protocol layers deliberately do not use this package: inside the
+// simulator all periodicity must flow through transport.Clock so virtual
+// time stays deterministic. Runner is wall-clock only, for the process
+// shell around a real node (daemon status loops, bootstrap retries,
+// signal-driven shutdown) where determinism is neither possible nor
+// wanted.
+package tasks
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Status is a point-in-time snapshot of one task's bookkeeping.
+type Status struct {
+	Name     string
+	Runs     int
+	Failures int
+	LastErr  error
+	LastRun  time.Time
+	Done     bool // a run-until-success task that has succeeded
+}
+
+type entry struct {
+	name  string
+	every time.Duration // periodic interval; zero for run-until-success
+	base  time.Duration // retry backoff base (run-until-success)
+	max   time.Duration // retry backoff cap (run-until-success)
+	fn    func(ctx context.Context) error
+
+	mu       sync.Mutex
+	runs     int
+	failures int
+	lastErr  error
+	lastRun  time.Time
+	done     bool
+}
+
+func (e *entry) record(err error) {
+	e.mu.Lock()
+	e.runs++
+	e.lastRun = time.Now()
+	e.lastErr = err
+	if err != nil {
+		e.failures++
+	}
+	e.mu.Unlock()
+}
+
+func (e *entry) status() Status {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return Status{Name: e.name, Runs: e.runs, Failures: e.failures, LastErr: e.lastErr, LastRun: e.lastRun, Done: e.done}
+}
+
+// Runner schedules background tasks. Register tasks with Every and Until,
+// then call Start once; Stop cancels every task and waits for in-flight
+// runs to return. Runner is safe for concurrent use, but tasks must be
+// registered before Start.
+type Runner struct {
+	logf func(format string, args ...any)
+
+	mu      sync.Mutex
+	entries []*entry
+	started bool
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+}
+
+// New creates a Runner. logf receives one line per task failure (and
+// recovery); nil discards them.
+func New(logf func(format string, args ...any)) *Runner {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Runner{logf: logf, ctx: ctx, cancel: cancel}
+}
+
+// Every registers a periodic task: fn runs every interval (first run one
+// interval after Start), until Stop. A failed run is logged and counted;
+// the schedule keeps ticking.
+func (r *Runner) Every(name string, every time.Duration, fn func(ctx context.Context) error) {
+	if every <= 0 {
+		panic(fmt.Sprintf("tasks: task %q needs a positive interval", name))
+	}
+	r.add(&entry{name: name, every: every, fn: fn})
+}
+
+// Until registers a run-until-success task: fn runs immediately at Start
+// and is retried with exponential backoff — base, 2×base, … capped at
+// max — until it returns nil or the runner stops. Bootstrap joins use
+// this: a node started before its seed peers keeps dialing instead of
+// dying.
+func (r *Runner) Until(name string, base, max time.Duration, fn func(ctx context.Context) error) {
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	if max < base {
+		max = base
+	}
+	r.add(&entry{name: name, base: base, max: max, fn: fn})
+}
+
+func (r *Runner) add(e *entry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.started {
+		panic(fmt.Sprintf("tasks: task %q registered after Start", e.name))
+	}
+	r.entries = append(r.entries, e)
+}
+
+// Start launches every registered task on its own goroutine.
+func (r *Runner) Start() {
+	r.mu.Lock()
+	if r.started {
+		r.mu.Unlock()
+		return
+	}
+	r.started = true
+	entries := r.entries
+	r.mu.Unlock()
+	for _, e := range entries {
+		r.wg.Add(1)
+		if e.every > 0 {
+			go r.runPeriodic(e)
+		} else {
+			go r.runUntil(e)
+		}
+	}
+}
+
+// Stop cancels all tasks and waits up to grace for in-flight runs to
+// return; it reports whether everything drained in time. Stop is
+// idempotent.
+func (r *Runner) Stop(grace time.Duration) bool {
+	r.cancel()
+	done := make(chan struct{})
+	go func() { r.wg.Wait(); close(done) }()
+	if grace <= 0 {
+		<-done
+		return true
+	}
+	select {
+	case <-done:
+		return true
+	case <-time.After(grace):
+		return false
+	}
+}
+
+// Statuses returns a snapshot of every task, sorted by name.
+func (r *Runner) Statuses() []Status {
+	r.mu.Lock()
+	entries := append([]*entry(nil), r.entries...)
+	r.mu.Unlock()
+	out := make([]Status, len(entries))
+	for i, e := range entries {
+		out[i] = e.status()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// runOnce executes fn with panic containment: a panicking task is a
+// failed run, not a dead daemon.
+func (r *Runner) runOnce(e *entry) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("tasks: %s panicked: %v", e.name, p)
+		}
+		e.record(err)
+		if err != nil && r.ctx.Err() == nil {
+			r.logf("task %s: %v", e.name, err)
+		}
+	}()
+	return e.fn(r.ctx)
+}
+
+func (r *Runner) runPeriodic(e *entry) {
+	defer r.wg.Done()
+	t := time.NewTimer(e.every)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.ctx.Done():
+			return
+		case <-t.C:
+		}
+		r.runOnce(e) //nolint:errcheck // recorded in the entry; schedule keeps ticking
+		t.Reset(e.every)
+	}
+}
+
+func (r *Runner) runUntil(e *entry) {
+	defer r.wg.Done()
+	delay := e.base
+	for {
+		if r.ctx.Err() != nil {
+			return
+		}
+		if err := r.runOnce(e); err == nil {
+			e.mu.Lock()
+			e.done = true
+			e.mu.Unlock()
+			return
+		}
+		select {
+		case <-r.ctx.Done():
+			return
+		case <-time.After(delay):
+		}
+		delay *= 2
+		if delay > e.max {
+			delay = e.max
+		}
+	}
+}

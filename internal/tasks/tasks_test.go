@@ -1,0 +1,133 @@
+package tasks
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", msg)
+}
+
+func TestEveryRunsRepeatedly(t *testing.T) {
+	r := New(t.Logf)
+	var n atomic.Int64
+	r.Every("tick", 10*time.Millisecond, func(context.Context) error {
+		n.Add(1)
+		return nil
+	})
+	r.Start()
+	waitFor(t, 2*time.Second, func() bool { return n.Load() >= 3 }, "3 periodic runs")
+	if !r.Stop(time.Second) {
+		t.Fatal("Stop did not drain")
+	}
+	got := n.Load()
+	time.Sleep(50 * time.Millisecond)
+	if n.Load() != got {
+		t.Fatalf("task ran after Stop: %d -> %d", got, n.Load())
+	}
+}
+
+func TestUntilRetriesThenSucceeds(t *testing.T) {
+	r := New(t.Logf)
+	var n atomic.Int64
+	r.Until("boot", time.Millisecond, 10*time.Millisecond, func(context.Context) error {
+		if n.Add(1) < 3 {
+			return errors.New("not yet")
+		}
+		return nil
+	})
+	r.Start()
+	waitFor(t, 2*time.Second, func() bool {
+		for _, s := range r.Statuses() {
+			if s.Name == "boot" && s.Done {
+				return true
+			}
+		}
+		return false
+	}, "boot task to succeed")
+	if got := n.Load(); got != 3 {
+		t.Fatalf("ran %d times, want 3", got)
+	}
+	st := r.Statuses()[0]
+	if st.Runs != 3 || st.Failures != 2 || st.LastErr != nil {
+		t.Fatalf("status = %+v, want Runs=3 Failures=2 LastErr=nil", st)
+	}
+	r.Stop(time.Second)
+}
+
+func TestStopCancelsUntilBackoff(t *testing.T) {
+	r := New(t.Logf)
+	r.Until("never", time.Hour, time.Hour, func(context.Context) error {
+		return errors.New("always fails")
+	})
+	r.Start()
+	waitFor(t, 2*time.Second, func() bool {
+		s := r.Statuses()[0]
+		return s.Runs >= 1
+	}, "first attempt")
+	// The task is now sleeping an hour of backoff; Stop must not wait it out.
+	start := time.Now()
+	if !r.Stop(2 * time.Second) {
+		t.Fatal("Stop did not drain a backing-off task")
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("Stop took %v, should cancel the backoff immediately", d)
+	}
+}
+
+func TestPanicIsContained(t *testing.T) {
+	r := New(nil)
+	var after atomic.Int64
+	r.Every("boom", 5*time.Millisecond, func(context.Context) error {
+		if after.Add(1) == 1 {
+			panic("kaboom")
+		}
+		return nil
+	})
+	r.Start()
+	waitFor(t, 2*time.Second, func() bool { return after.Load() >= 2 }, "run after panic")
+	st := r.Statuses()[0]
+	if st.Failures < 1 {
+		t.Fatalf("panic not recorded as failure: %+v", st)
+	}
+	r.Stop(time.Second)
+}
+
+func TestStopIdempotentAndContextDelivered(t *testing.T) {
+	r := New(t.Logf)
+	got := make(chan context.Context, 1)
+	r.Until("ctx", time.Millisecond, time.Millisecond, func(ctx context.Context) error {
+		select {
+		case got <- ctx:
+		default:
+		}
+		return nil
+	})
+	r.Start()
+	var ctx context.Context
+	select {
+	case ctx = <-got:
+	case <-time.After(2 * time.Second):
+		t.Fatal("task never ran")
+	}
+	if ctx.Err() != nil {
+		t.Fatal("context cancelled before Stop")
+	}
+	r.Stop(time.Second)
+	r.Stop(time.Second) // idempotent
+	if ctx.Err() == nil {
+		t.Fatal("context not cancelled by Stop")
+	}
+}

@@ -1,9 +1,12 @@
 package transport
 
 import (
+	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"time"
@@ -20,16 +23,40 @@ type frame struct {
 	Msg  wire.Msg
 }
 
+// TCPOptions tune the TCP transport. The zero value gives the defaults.
+type TCPOptions struct {
+	// DialTimeout bounds outbound connection attempts (default 3s). A
+	// peer that cannot be reached within it is treated as silent loss,
+	// like the simulator's unreliable sends.
+	DialTimeout time.Duration
+	// MaxFrame caps one frame's encoded size in bytes (default 8 MiB).
+	// An inbound frame announcing a larger size kills the connection
+	// before any allocation: a garbage or malicious length prefix cannot
+	// make the node allocate unbounded memory.
+	MaxFrame int
+}
+
+const (
+	defaultDialTimeout = 3 * time.Second
+	defaultMaxFrame    = 8 << 20
+)
+
 // TCP is a transport.Transport over real TCP connections. One listener
 // accepts inbound peers; outbound connections are cached per destination.
-// Messages are gob-encoded frames. Send never blocks on the network: each
-// peer connection has a writer goroutine fed by a bounded queue, and a
-// full queue drops (UDP-like semantics, matching the simulator).
+// Each frame travels as a 4-byte big-endian length prefix followed by a
+// self-contained gob encoding, so the reader can reject oversized frames
+// before allocating and detect truncation (a peer dying mid-frame) as a
+// short read rather than a corrupted stream. Send never blocks on the
+// network: each peer connection has a writer goroutine fed by a bounded
+// queue, and a full queue drops (UDP-like semantics, matching the
+// simulator).
 type TCP struct {
-	addr     string
-	ln       net.Listener
-	handler  Handler
-	handlerM sync.RWMutex
+	addr        string
+	ln          net.Listener
+	dialTimeout time.Duration
+	maxFrame    int
+	handler     Handler
+	handlerM    sync.RWMutex
 
 	mu      sync.Mutex
 	peers   map[string]*tcpPeer
@@ -48,18 +75,31 @@ type tcpPeer struct {
 }
 
 // ListenTCP starts a transport listening on the given address
-// ("127.0.0.1:0" picks a free port).
+// ("127.0.0.1:0" picks a free port) with default options.
 func ListenTCP(listen string) (*TCP, error) {
+	return ListenTCPOpts(listen, TCPOptions{})
+}
+
+// ListenTCPOpts is ListenTCP with explicit options.
+func ListenTCPOpts(listen string, opts TCPOptions) (*TCP, error) {
+	if opts.DialTimeout <= 0 {
+		opts.DialTimeout = defaultDialTimeout
+	}
+	if opts.MaxFrame <= 0 {
+		opts.MaxFrame = defaultMaxFrame
+	}
 	ln, err := net.Listen("tcp", listen)
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", listen, err)
 	}
 	t := &TCP{
-		addr:    ln.Addr().String(),
-		ln:      ln,
-		peers:   make(map[string]*tcpPeer),
-		inbound: make(map[net.Conn]bool),
-		prox:    make(map[string]float64),
+		addr:        ln.Addr().String(),
+		ln:          ln,
+		dialTimeout: opts.DialTimeout,
+		maxFrame:    opts.MaxFrame,
+		peers:       make(map[string]*tcpPeer),
+		inbound:     make(map[net.Conn]bool),
+		prox:        make(map[string]float64),
 	}
 	t.wg.Add(1)
 	go t.acceptLoop()
@@ -96,6 +136,50 @@ func (t *TCP) acceptLoop() {
 	}
 }
 
+// writeFrame encodes f into buf and writes it length-prefixed. A frame
+// that encodes beyond maxFrame is refused locally — better to drop one
+// message than to ship something every receiver will kill the connection
+// over.
+func writeFrame(w io.Writer, buf *bytes.Buffer, f *frame, maxFrame int) error {
+	buf.Reset()
+	if err := gob.NewEncoder(buf).Encode(f); err != nil {
+		return err
+	}
+	if buf.Len() > maxFrame {
+		return fmt.Errorf("transport: frame of %d bytes exceeds limit %d", buf.Len(), maxFrame)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(buf.Len()))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// readFrame reads one length-prefixed frame. It errors on a zero or
+// oversized announced length (before allocating), on truncation (peer
+// closed mid-frame), and on undecodable payload.
+func readFrame(r io.Reader, maxFrame int) (frame, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return frame{}, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > uint32(maxFrame) {
+		return frame{}, fmt.Errorf("transport: announced frame size %d outside (0, %d]", n, maxFrame)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return frame{}, err
+	}
+	var f frame
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&f); err != nil {
+		return frame{}, err
+	}
+	return f, nil
+}
+
 func (t *TCP) readLoop(conn net.Conn) {
 	defer t.wg.Done()
 	defer func() {
@@ -104,11 +188,10 @@ func (t *TCP) readLoop(conn net.Conn) {
 		delete(t.inbound, conn)
 		t.mu.Unlock()
 	}()
-	dec := gob.NewDecoder(conn)
 	for {
-		var f frame
-		if err := dec.Decode(&f); err != nil {
-			return
+		f, err := readFrame(conn, t.maxFrame)
+		if err != nil {
+			return // EOF, truncated frame, oversized frame, or garbage: drop the connection
 		}
 		t.handlerM.RLock()
 		h := t.handler
@@ -130,7 +213,7 @@ func (t *TCP) Send(to string, m wire.Msg) error {
 	}
 	p, ok := t.peers[to]
 	if !ok {
-		conn, err := net.DialTimeout("tcp", to, 3*time.Second)
+		conn, err := net.DialTimeout("tcp", to, t.dialTimeout)
 		if err != nil {
 			t.mu.Unlock()
 			return nil // unreachable peer: silent loss, like the simulator
@@ -152,10 +235,11 @@ func (t *TCP) Send(to string, m wire.Msg) error {
 func (t *TCP) writeLoop(to string, p *tcpPeer) {
 	defer t.wg.Done()
 	defer p.conn.Close()
-	enc := gob.NewEncoder(p.conn)
+	var buf bytes.Buffer
 	for f := range p.out {
-		if err := enc.Encode(&f); err != nil {
-			// Connection broke: forget the peer so the next Send redials.
+		if err := writeFrame(p.conn, &buf, &f, t.maxFrame); err != nil {
+			// Connection broke (or the frame was locally oversized):
+			// forget the peer so the next Send redials fresh.
 			t.mu.Lock()
 			if cur, ok := t.peers[to]; ok && cur == p {
 				delete(t.peers, to)

@@ -1,0 +1,218 @@
+package transport
+
+import (
+	"encoding/binary"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"past/internal/wire"
+)
+
+// countHandler installs a handler on tr that counts delivered messages.
+func countHandler(tr *TCP) func() int {
+	var mu sync.Mutex
+	n := 0
+	tr.SetHandler(func(string, wire.Msg) {
+		mu.Lock()
+		n++
+		mu.Unlock()
+	})
+	return func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		return n
+	}
+}
+
+// TestTCPTruncatedFrame kills the sending side mid-frame: the receiver
+// must drop the connection without delivering the partial message and
+// keep serving other peers.
+func TestTCPTruncatedFrame(t *testing.T) {
+	b, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { b.Close() })
+	got := countHandler(b)
+
+	conn, err := net.Dial("tcp", b.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Announce a 1000-byte frame, send 10 bytes, slam the connection shut.
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], 1000)
+	conn.Write(hdr[:])
+	conn.Write(make([]byte, 10))
+	conn.Close()
+
+	// A healthy peer must still get through afterwards.
+	a, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close() })
+	a.Send(b.Addr(), wire.Ping{Nonce: 1})
+	waitFor(t, func() bool { return got() == 1 })
+}
+
+// TestTCPOversizedFrameRejected sends a frame whose announced size
+// exceeds MaxFrame: the receiver must kill that connection before
+// allocating, deliver nothing from it, and keep serving others.
+func TestTCPOversizedFrameRejected(t *testing.T) {
+	b, err := ListenTCPOpts("127.0.0.1:0", TCPOptions{MaxFrame: 1 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { b.Close() })
+	got := countHandler(b)
+
+	conn, err := net.Dial("tcp", b.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], 1<<30) // 1 GiB announcement
+	if _, err := conn.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	// The receiver must hang up on us (rather than waiting for a gigabyte).
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("connection still open after oversized announcement")
+	}
+	if got() != 0 {
+		t.Fatal("oversized frame delivered")
+	}
+
+	// Zero-length announcements are rejected the same way.
+	conn2, err := net.Dial("tcp", b.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	binary.BigEndian.PutUint32(hdr[:], 0)
+	conn2.Write(hdr[:])
+	conn2.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := conn2.Read(buf); err == nil {
+		t.Fatal("connection still open after zero-length announcement")
+	}
+}
+
+// TestTCPOversizedSendRefusedLocally verifies the sender side: a message
+// that encodes past MaxFrame is dropped locally and the next Send redials
+// a fresh connection rather than poisoning the stream.
+func TestTCPOversizedSendRefusedLocally(t *testing.T) {
+	a, err := ListenTCPOpts("127.0.0.1:0", TCPOptions{MaxFrame: 1 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close(); b.Close() })
+	got := countHandler(b)
+
+	big := wire.ReplicaStore{Data: make([]byte, 1<<20)}
+	if err := a.Send(b.Addr(), big); err != nil {
+		t.Fatalf("oversized send must be silent local loss, got %v", err)
+	}
+	// Give the writer a moment to refuse and tear down, then prove the
+	// path still works for normal traffic.
+	waitFor(t, func() bool {
+		a.Send(b.Addr(), wire.Ping{Nonce: 2})
+		return got() >= 1
+	})
+}
+
+// TestTCPReconnectAfterRestart restarts the receiving node on the SAME
+// address (as a crashed-and-recovered daemon would) and verifies the
+// sender's cached connection heals: the first sends after the restart may
+// be lost (the cached conn dies, UDP-like), but a later Send redials and
+// delivers.
+func TestTCPReconnectAfterRestart(t *testing.T) {
+	a, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close() })
+	b1, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := b1.Addr()
+	got1 := countHandler(b1)
+	a.Send(addr, wire.Ping{Nonce: 1})
+	waitFor(t, func() bool { return got1() == 1 })
+
+	// "Crash" b and restart it on the same port.
+	b1.Close()
+	var b2 *TCP
+	waitFor(t, func() bool {
+		b2, err = ListenTCP(addr)
+		return err == nil
+	})
+	t.Cleanup(func() { b2.Close() })
+	got2 := countHandler(b2)
+
+	// Keep sending: the first write surfaces the dead conn and drops it;
+	// a subsequent Send must redial the restarted node and deliver.
+	waitFor(t, func() bool {
+		a.Send(addr, wire.Ping{Nonce: 3})
+		return got2() >= 1
+	})
+}
+
+// TestTCPDialTimeoutBounded sends to a blackholed address with a short
+// DialTimeout and asserts Send returns within a bound, without error
+// (silent loss). 192.0.2.0/24 is TEST-NET-1, guaranteed unroutable;
+// sandboxed CI may refuse it instantly, which also satisfies the bound.
+func TestTCPDialTimeoutBounded(t *testing.T) {
+	a, err := ListenTCPOpts("127.0.0.1:0", TCPOptions{DialTimeout: 200 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close() })
+	start := time.Now()
+	if err := a.Send("192.0.2.1:9", wire.Ping{}); err != nil {
+		t.Fatalf("unreachable peer must be silent loss, got %v", err)
+	}
+	if d := time.Since(start); d > 3*time.Second {
+		t.Fatalf("Send blocked %v; DialTimeout=200ms not honored", d)
+	}
+}
+
+// TestTCPGarbagePayloadDropped feeds a well-framed but undecodable
+// payload: the connection dies, nothing is delivered, and the transport
+// survives.
+func TestTCPGarbagePayloadDropped(t *testing.T) {
+	b, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { b.Close() })
+	got := countHandler(b)
+
+	conn, err := net.Dial("tcp", b.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	payload := []byte("this is not gob")
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	conn.Write(hdr[:])
+	conn.Write(payload)
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := conn.Read(make([]byte, 1)); err == nil {
+		t.Fatal("connection still open after garbage payload")
+	}
+	if got() != 0 {
+		t.Fatal("garbage delivered to handler")
+	}
+}

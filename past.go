@@ -49,6 +49,11 @@
 package past
 
 import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
 	"past/internal/id"
 	pastcore "past/internal/past"
 	"past/internal/seccrypt"
@@ -93,6 +98,38 @@ type Smartcard = seccrypt.Smartcard
 // NewBroker creates a broker with a fresh certification key. Pass nil to
 // use crypto/rand.
 func NewBroker() (*Broker, error) { return seccrypt.NewBroker(nil) }
+
+// DeriveBroker derives the shared network broker from a seed string, the
+// demo stand-in for the paper's third-party broker (which would
+// distribute smartcards out of band). All nodes of one deployment must
+// use the same seed. Two forms are accepted:
+//
+//   - "det:<uint64>" draws the key from the deterministic stream seeded
+//     with that number — the same derivation the simulator uses
+//     (NetworkConfig.Seed s maps to "det:<s+1>"), which is how the
+//     conformance harness gives real processes the simulator's identities.
+//   - anything else is FNV-hashed to a stream seed.
+func DeriveBroker(seed string) (*Broker, error) {
+	if rest, ok := strings.CutPrefix(seed, "det:"); ok {
+		v, err := strconv.ParseUint(rest, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("past: broker seed %q: det: needs a uint64: %w", seed, err)
+		}
+		return seccrypt.NewBroker(seccrypt.DetRand(v))
+	}
+	h := uint64(1469598103934665603)
+	for _, b := range []byte(seed) {
+		h = (h ^ uint64(b)) * 1099511628211
+	}
+	return seccrypt.NewBroker(seccrypt.DetRand(h))
+}
+
+// DetCardRand returns the deterministic randomness stream for issuing
+// card i of a seed-s deployment, matching the simulator's derivation so a
+// real node can reproduce the nodeId the simulator assigns node i.
+func DetCardRand(seed int64, i int) io.Reader {
+	return seccrypt.DetRand(uint64(seed)<<20 + uint64(i) + 7)
+}
 
 // StoreReceipt proves a node stored a replica.
 type StoreReceipt = wire.StoreReceipt

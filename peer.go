@@ -7,7 +7,10 @@ import (
 
 	pastcore "past/internal/past"
 	"past/internal/pastry"
+	"past/internal/seccrypt"
+	"past/internal/storage"
 	"past/internal/transport"
+	"past/internal/wire"
 )
 
 // PeerConfig configures one real PAST node communicating over TCP.
@@ -21,6 +24,12 @@ type PeerConfig struct {
 	BrokerPub ed25519.PublicKey
 	// Storage configures the PAST layer; zero value uses defaults.
 	Storage StorageConfig
+	// DataDir, when set, persists every stored replica to this directory
+	// and recovers them on start: each file on disk is re-verified
+	// against its certificate's content hash before being served again,
+	// corrupt entries are quarantined, and the node rejoins the network
+	// with its surviving replicas intact. Empty keeps storage in memory.
+	DataDir string
 	// RoutingB and RoutingL override Pastry parameters (defaults 4, 32).
 	RoutingB, RoutingL int
 	// KeepAlive and FailTimeout control failure detection; zero keeps the
@@ -28,6 +37,15 @@ type PeerConfig struct {
 	KeepAlive, FailTimeout time.Duration
 	// OpTimeout bounds blocking client operations (default 30s).
 	OpTimeout time.Duration
+	// DialTimeout and MaxFrame tune the TCP transport (zero = defaults:
+	// 3s dial, 8 MiB frame cap).
+	DialTimeout time.Duration
+	MaxFrame    int
+	// Seed, when non-zero, fixes the node's internal randomness (protocol
+	// timers, route tie-breaks). Zero mixes wall-clock time so concurrent
+	// deployments differ; the conformance harness sets it to align the
+	// real stack with a simulator run.
+	Seed int64
 }
 
 // Peer is a live PAST node over TCP. It is safe for concurrent use.
@@ -36,6 +54,8 @@ type Peer struct {
 	tr   *transport.TCP
 	node *pastry.Node
 	past *pastcore.Node
+
+	recovered, quarantined int
 }
 
 // ListenPeer starts a PAST node listening on cfg.Listen. Call Bootstrap
@@ -50,7 +70,10 @@ func ListenPeer(cfg PeerConfig) (*Peer, error) {
 	if cfg.OpTimeout <= 0 {
 		cfg.OpTimeout = 30 * time.Second
 	}
-	tr, err := transport.ListenTCP(cfg.Listen)
+	tr, err := transport.ListenTCPOpts(cfg.Listen, transport.TCPOptions{
+		DialTimeout: cfg.DialTimeout,
+		MaxFrame:    cfg.MaxFrame,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -69,17 +92,40 @@ func ListenPeer(cfg PeerConfig) (*Peer, error) {
 	if cfg.FailTimeout > 0 {
 		pcfg.FailTimeout = cfg.FailTimeout
 	}
-	pcfg.Seed = int64(cfg.Card.NodeID().Digit(0, 8))<<32 | time.Now().UnixNano()&0xffffffff
-	storage := cfg.Storage
-	if storage.K == 0 {
-		storage = DefaultStorageConfig()
+	if cfg.Seed != 0 {
+		pcfg.Seed = cfg.Seed
+	} else {
+		pcfg.Seed = int64(cfg.Card.NodeID().Digit(0, 8))<<32 | time.Now().UnixNano()&0xffffffff
 	}
-	storage.RequestTimeout = cfg.OpTimeout
+	scfg := cfg.Storage
+	if scfg.K == 0 {
+		scfg = DefaultStorageConfig()
+	}
+	scfg.RequestTimeout = cfg.OpTimeout
 
 	clock := transport.NewRealClock()
 	node := pastry.New(pcfg, cfg.Card.NodeID(), tr, clock, nil)
-	pn := pastcore.NewNode(storage, node, cfg.Card, cfg.BrokerPub)
-	return &Peer{cfg: cfg, tr: tr, node: node, past: pn}, nil
+	pn := pastcore.NewNode(scfg, node, cfg.Card, cfg.BrokerPub)
+	p := &Peer{cfg: cfg, tr: tr, node: node, past: pn}
+	if cfg.DataDir != "" {
+		ds, rep, err := storage.OpenDiskStoreVerify(cfg.DataDir, scfg.Capacity, func(cert wire.FileCertificate, data []byte) error {
+			return seccrypt.VerifyContent(&cert, data)
+		})
+		if err != nil {
+			tr.Close() //nolint:errcheck // already failing; listener must not leak
+			return nil, err
+		}
+		pn.UseDisk(ds)
+		p.recovered, p.quarantined = rep.Recovered, rep.Quarantined
+	}
+	return p, nil
+}
+
+// Recovered reports what opening DataDir found: replicas re-verified and
+// served again, and corrupt entries quarantined. Both zero without a
+// DataDir.
+func (p *Peer) Recovered() (recovered, quarantined int) {
+	return p.recovered, p.quarantined
 }
 
 // Addr returns the address other peers use to reach this node.
@@ -105,6 +151,30 @@ func (p *Peer) Join(seed string) error {
 	}
 }
 
+// JoinAny tries each seed address in order and returns on the first
+// successful join. It is one bootstrap round; callers wanting retry with
+// backoff (the daemon) wrap it in a run-until-success task.
+func (p *Peer) JoinAny(seeds []string) error {
+	if len(seeds) == 0 {
+		return fmt.Errorf("past: no bootstrap seeds")
+	}
+	var lastErr error
+	for _, s := range seeds {
+		if s == "" {
+			continue
+		}
+		if err := p.Join(s); err != nil {
+			lastErr = err
+			continue
+		}
+		return nil
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("past: no usable bootstrap seeds")
+	}
+	return lastErr
+}
+
 // Insert stores data under name with k replicas (0 = default), blocking
 // until the receipts arrive. card nil uses the peer's own card.
 func (p *Peer) Insert(card *Smartcard, name string, data []byte, k int) (InsertResult, error) {
@@ -113,6 +183,24 @@ func (p *Peer) Insert(card *Smartcard, name string, data []byte, k int) (InsertR
 	}
 	ch := make(chan InsertResult, 1)
 	p.past.Insert(card, name, data, k, func(r InsertResult) { ch <- r })
+	select {
+	case r := <-ch:
+		return r, r.Err
+	case <-time.After(4 * p.cfg.OpTimeout):
+		return InsertResult{}, ErrTimeout
+	}
+}
+
+// InsertSalted is Insert with a caller-supplied certificate salt: the
+// fileId is H(name, owner, salt), so fixing the salt fixes the fileId.
+// The conformance harness uses it to drive the identical workload through
+// the simulator and a real cluster and compare placement per fileId.
+func (p *Peer) InsertSalted(card *Smartcard, name string, data []byte, k int, salt []byte) (InsertResult, error) {
+	if card == nil {
+		card = p.cfg.Card
+	}
+	ch := make(chan InsertResult, 1)
+	p.past.InsertSalted(card, name, data, k, salt, func(r InsertResult) { ch <- r })
 	select {
 	case r := <-ch:
 		return r, r.Err
