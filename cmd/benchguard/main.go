@@ -160,7 +160,19 @@ func main() {
 	watches := flag.String("watch",
 		"Insert4KiB:1.25,Lookup4KiB:1.25,exp:E15:2.0,exp:E18:2.0",
 		"comma-separated <name>:<tolerance> metrics; prefix exp: guards an experiment's wall_ms")
+	trend := flag.Bool("trend", false, "trend mode: judge the newest BENCH_*.json against the whole committed history instead of one baseline")
+	trendGlob := flag.String("trend-glob", "BENCH_*.json", "report glob for -trend (ordered by the numeric suffix)")
+	trendBand := flag.Float64("trend-band", 1.30, "minimum allowed ratio over the trend envelope; noisy metric histories widen it automatically")
+	trendRequire := flag.String("trend-require", "", "comma-separated metrics that must appear in the newest report (exit 2 when absent from the emitted table)")
 	flag.Parse()
+
+	if *trend {
+		var require []string
+		if *trendRequire != "" {
+			require = strings.Split(*trendRequire, ",")
+		}
+		os.Exit(runTrend(*trendGlob, *trendBand, require, os.Stdout, os.Stderr))
+	}
 
 	ws, err := parseWatches(*watches)
 	if err != nil {

@@ -1,0 +1,249 @@
+// Trend mode: instead of comparing one fresh report against one pinned
+// baseline, -trend loads the whole committed BENCH_*.json history in
+// order, fits each metric's direction across PRs, and judges the latest
+// report against a trend envelope — so a metric that has been drifting
+// up for three PRs is flagged even if no single step exceeded the pair
+// tolerance, and a metric with a noisy history earns a wider band than
+// a rock-steady one. It also emits the per-PR perf-delta markdown table
+// the ROADMAP log records.
+package main
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// sample is one metric value at one BENCH index.
+type sample struct {
+	idx int
+	v   float64
+}
+
+// metricHist is the per-PR history of one metric.
+type metricHist struct {
+	key     string // "Insert4KiB", "exp:E15@Small", "eps:E1@large", "mem:..."
+	unit    string
+	samples []sample
+	// higherBetter inverts the comparison (events/sec: a drop is the
+	// regression).
+	higherBetter bool
+}
+
+var benchIdxRe = regexp.MustCompile(`BENCH_(\d+)\.json$`)
+
+// loadHistory loads every report matching glob, ordered by BENCH index,
+// and folds them into per-metric histories (insertion-ordered).
+func loadHistory(glob string) (keys []string, hists map[string]*metricHist, idxs []int, err error) {
+	paths, err := filepath.Glob(glob)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	type file struct {
+		idx  int
+		path string
+	}
+	var files []file
+	for _, p := range paths {
+		m := benchIdxRe.FindStringSubmatch(p)
+		if m == nil {
+			continue
+		}
+		var idx int
+		fmt.Sscanf(m[1], "%d", &idx) //nolint:errcheck // \d+ always scans
+		files = append(files, file{idx, p})
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].idx < files[j].idx })
+	if len(files) < 2 {
+		return nil, nil, nil, fmt.Errorf("need at least 2 reports matching %q, found %d", glob, len(files))
+	}
+	hists = make(map[string]*metricHist)
+	add := func(key, unit string, idx int, v float64, higherBetter bool) {
+		h, ok := hists[key]
+		if !ok {
+			h = &metricHist{key: key, unit: unit, higherBetter: higherBetter}
+			hists[key] = h
+			keys = append(keys, key)
+		}
+		h.samples = append(h.samples, sample{idx, v})
+	}
+	for _, f := range files {
+		rep, err := load(f.path)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		idxs = append(idxs, f.idx)
+		for _, b := range rep.Benchmarks {
+			add(b.Name, "ns/op", f.idx, b.NsPerOp, false)
+		}
+		for _, e := range rep.Experiments {
+			key := "exp:" + e.ID + "@" + e.Scale
+			add(key, "ms", f.idx, e.WallMs, false)
+			if e.EventsPerSec > 0 {
+				add("eps:"+e.ID+"@"+e.Scale, "ev/s", f.idx, e.EventsPerSec, true)
+			}
+		}
+		for _, m := range rep.MemProbes {
+			add("mem:"+m.Name, "B/node", f.idx, m.BytesPerNode, false)
+		}
+	}
+	return keys, hists, idxs, nil
+}
+
+// fitLogTrend least-squares fits ln(v) over idx and returns the
+// prediction at target plus the residual scatter (log-space stddev).
+// ok is false with fewer than 3 points — too little history to call a
+// direction.
+func fitLogTrend(samples []sample, target int) (pred, slope, sigma float64, ok bool) {
+	n := float64(len(samples))
+	if len(samples) < 3 {
+		return 0, 0, 0, false
+	}
+	var sx, sy, sxx, sxy float64
+	for _, s := range samples {
+		x, y := float64(s.idx), math.Log(s.v)
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0, 0, 0, false
+	}
+	b := (n*sxy - sx*sy) / den
+	a := (sy - b*sx) / n
+	var ss float64
+	for _, s := range samples {
+		r := math.Log(s.v) - (a + b*float64(s.idx))
+		ss += r * r
+	}
+	sigma = math.Sqrt(ss / n)
+	return math.Exp(a + b*float64(target)), b, sigma, true
+}
+
+// verdict judges the latest sample of one history against its trend
+// envelope. band is the minimum allowed ratio (the -trend-band flag);
+// noisy histories widen it to exp(2*sigma).
+func (h *metricHist) verdict(band float64) (status string, limit, slopePct float64) {
+	last := h.samples[len(h.samples)-1]
+	prior := h.samples[:len(h.samples)-1]
+	if len(prior) == 0 {
+		return "new", 0, 0
+	}
+	prev := prior[len(prior)-1].v
+	pred, slope, sigma, ok := fitLogTrend(prior, last.idx)
+	envelope := band
+	if ok {
+		if w := math.Exp(2 * sigma); w > envelope {
+			envelope = w
+		}
+		slopePct = (math.Exp(slope) - 1) * 100
+	} else {
+		pred = prev
+	}
+	if h.higherBetter {
+		base := math.Min(pred, prev)
+		limit = base / envelope
+		if last.v < limit {
+			return "REGRESSION", limit, slopePct
+		}
+	} else {
+		base := math.Max(pred, prev)
+		limit = base * envelope
+		if last.v > limit {
+			return "REGRESSION", limit, slopePct
+		}
+	}
+	return "ok", limit, slopePct
+}
+
+// normalizeKey canonicalizes a -trend-require spelling: bare experiment
+// watches default to the Small tier, mirroring parseWatches.
+func normalizeKey(k string) string {
+	k = strings.TrimSpace(k)
+	for _, prefix := range []string{"exp:", "eps:"} {
+		if rest, ok := strings.CutPrefix(k, prefix); ok && !strings.Contains(rest, "@") {
+			return prefix + rest + "@Small"
+		}
+	}
+	return k
+}
+
+func fmtVal(v float64) string {
+	switch {
+	case v >= 1e6:
+		return fmt.Sprintf("%.3g", v)
+	case v >= 100:
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}
+
+// runTrend is the -trend entry point. It prints the per-PR perf-delta
+// markdown table to stdout and returns the process exit code: 1 when a
+// metric broke its trend envelope, 2 on usage errors or when a required
+// metric is absent from the latest report, 0 otherwise.
+func runTrend(glob string, band float64, require []string, stdout, stderr io.Writer) int {
+	keys, hists, idxs, err := loadHistory(glob)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchguard:", err)
+		return 2
+	}
+	latestIdx := idxs[len(idxs)-1]
+	prevIdx := idxs[len(idxs)-2]
+	fmt.Fprintf(stdout, "Perf delta BENCH_%d -> BENCH_%d (trend over %d reports, band %.2fx):\n\n",
+		prevIdx, latestIdx, len(idxs), band)
+	fmt.Fprintf(stdout, "| metric | BENCH_%d | BENCH_%d | delta | trend/PR | status |\n", prevIdx, latestIdx)
+	fmt.Fprintln(stdout, "|---|---|---|---|---|---|")
+
+	regressions := 0
+	inLatest := make(map[string]bool)
+	for _, key := range keys {
+		h := hists[key]
+		last := h.samples[len(h.samples)-1]
+		if last.idx != latestIdx {
+			continue // metric dropped before the latest report
+		}
+		inLatest[key] = true
+		status, _, slopePct := h.verdict(band)
+		prevCell, deltaCell, trendCell := "-", "-", "-"
+		if len(h.samples) >= 2 {
+			prev := h.samples[len(h.samples)-2].v
+			prevCell = fmtVal(prev) + " " + h.unit
+			deltaCell = fmt.Sprintf("%+.1f%%", (last.v/prev-1)*100)
+		}
+		if len(h.samples) >= 4 { // 3 prior points fitted
+			trendCell = fmt.Sprintf("%+.1f%%", slopePct)
+		}
+		if status == "REGRESSION" {
+			regressions++
+			fmt.Fprintf(stderr, "benchguard: REGRESSION: %s broke its trend envelope (see table)\n", key)
+		}
+		fmt.Fprintf(stdout, "| %s | %s | %s %s | %s | %s | %s |\n",
+			key, prevCell, fmtVal(last.v), h.unit, deltaCell, trendCell, status)
+	}
+
+	missing := 0
+	for _, req := range require {
+		if req = normalizeKey(req); req == "" {
+			continue
+		}
+		if !inLatest[req] {
+			fmt.Fprintf(stderr, "benchguard: required metric %s missing from BENCH_%d\n", req, latestIdx)
+			missing++
+		}
+	}
+	switch {
+	case missing > 0:
+		return 2
+	case regressions > 0:
+		return 1
+	}
+	return 0
+}

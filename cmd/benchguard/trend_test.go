@@ -1,0 +1,122 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeBench writes one minimal BENCH_<idx>.json with the given
+// Insert4KiB ns/op, an experiment wall, a throughput and a mem probe.
+func writeBench(t *testing.T, dir string, idx int, ns, wall, eps, bpn float64) {
+	t.Helper()
+	body := fmt.Sprintf(`{
+  "benchmarks": [{"name": "Insert4KiB", "ns_per_op": %f, "allocs_per_op": 100}],
+  "experiments": [{"id": "E15", "scale": "Small", "wall_ms": %f, "events_per_sec": %f}],
+  "mem_probes": [{"name": "analytic_build_20000", "bytes_per_node": %f}]
+}`, ns, wall, eps, bpn)
+	if err := os.WriteFile(filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", idx)), []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTrendCleanHistory pins exit 0 and a complete table on a history
+// with mild noise and a steady direction.
+func TestTrendCleanHistory(t *testing.T) {
+	dir := t.TempDir()
+	ns := []float64{1000, 980, 1010, 960, 950}
+	for i, v := range ns {
+		writeBench(t, dir, i+1, v, 400+10*float64(i%2), 1e5+1e3*float64(i), 7000-50*float64(i))
+	}
+	var out, errb bytes.Buffer
+	code := runTrend(filepath.Join(dir, "BENCH_*.json"), 1.30,
+		[]string{"Insert4KiB", "exp:E15", "eps:E15@Small", "mem:analytic_build_20000"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("clean history exit = %d, stderr:\n%s\ntable:\n%s", code, errb.String(), out.String())
+	}
+	for _, want := range []string{"| Insert4KiB |", "| exp:E15@Small |", "| eps:E15@Small |", "| mem:analytic_build_20000 |", "| ok |"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("table missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestTrendSeededRegression pins the acceptance criterion: a synthetic
+// 3x regression in the newest report exits non-zero and is labeled in
+// the table.
+func TestTrendSeededRegression(t *testing.T) {
+	dir := t.TempDir()
+	for i := 1; i <= 4; i++ {
+		writeBench(t, dir, i, 1000, 400, 1e5, 7000)
+	}
+	writeBench(t, dir, 5, 3000, 400, 1e5, 7000) // Insert4KiB jumps 3x
+	var out, errb bytes.Buffer
+	code := runTrend(filepath.Join(dir, "BENCH_*.json"), 1.30, nil, &out, &errb)
+	if code != 1 {
+		t.Fatalf("seeded regression exit = %d, want 1\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "| REGRESSION |") || !strings.Contains(errb.String(), "Insert4KiB") {
+		t.Fatalf("regression not reported:\n%s\n%s", out.String(), errb.String())
+	}
+}
+
+// TestTrendThroughputInverted pins that events/sec regressions point the
+// other way: a throughput *drop* fails, a rise does not.
+func TestTrendThroughputInverted(t *testing.T) {
+	dir := t.TempDir()
+	for i := 1; i <= 4; i++ {
+		writeBench(t, dir, i, 1000, 400, 1e5, 7000)
+	}
+	writeBench(t, dir, 5, 1000, 400, 3e4, 7000) // eps drops to 30%
+	var out, errb bytes.Buffer
+	if code := runTrend(filepath.Join(dir, "BENCH_*.json"), 1.30, nil, &out, &errb); code != 1 {
+		t.Fatalf("throughput drop exit = %d, want 1\n%s", code, out.String())
+	}
+	dir2 := t.TempDir()
+	for i := 1; i <= 4; i++ {
+		writeBench(t, dir2, i, 1000, 400, 1e5, 7000)
+	}
+	writeBench(t, dir2, 5, 1000, 400, 3e5, 7000) // eps trebles: fine
+	out.Reset()
+	errb.Reset()
+	if code := runTrend(filepath.Join(dir2, "BENCH_*.json"), 1.30, nil, &out, &errb); code != 0 {
+		t.Fatalf("throughput rise exit = %d, want 0\n%s\n%s", code, out.String(), errb.String())
+	}
+}
+
+// TestTrendRequiredMetricMissing pins the CI contract: a tracked metric
+// absent from the newest report exits 2 even if nothing regressed.
+func TestTrendRequiredMetricMissing(t *testing.T) {
+	dir := t.TempDir()
+	for i := 1; i <= 3; i++ {
+		writeBench(t, dir, i, 1000, 400, 1e5, 7000)
+	}
+	var out, errb bytes.Buffer
+	code := runTrend(filepath.Join(dir, "BENCH_*.json"), 1.30, []string{"Lookup4KiB"}, &out, &errb)
+	if code != 2 {
+		t.Fatalf("missing required metric exit = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "Lookup4KiB") {
+		t.Fatalf("missing metric not named:\n%s", errb.String())
+	}
+}
+
+// TestTrendNoisyHistoryWidensBand pins the envelope logic: a step that
+// would break the flat band survives when the metric's own history is
+// just as noisy.
+func TestTrendNoisyHistoryWidensBand(t *testing.T) {
+	dir := t.TempDir()
+	noisy := []float64{1000, 1600, 900, 1500, 950}
+	for i, v := range noisy {
+		writeBench(t, dir, i+1, v, 400, 1e5, 7000)
+	}
+	// Latest 1550: +63% over prev, but within the scatter of the history.
+	writeBench(t, dir, 6, 1550, 400, 1e5, 7000)
+	var out, errb bytes.Buffer
+	if code := runTrend(filepath.Join(dir, "BENCH_*.json"), 1.30, nil, &out, &errb); code != 0 {
+		t.Fatalf("noisy-but-stationary history flagged: exit %d\n%s\n%s", code, out.String(), errb.String())
+	}
+}

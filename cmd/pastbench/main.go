@@ -132,6 +132,8 @@ func main() {
 		"comma-separated id@scale probes for the bulk-built tiers (empty disables)")
 	memProbes := flag.String("mem-probes", "20000,100000",
 		"comma-separated analytic-build sizes for the bytes-per-node probe (empty disables)")
+	seriesPath := flag.String("series", "",
+		"write the experiment probes' per-window telemetry series (line protocol) to this file")
 	flag.Parse()
 	if *shards < 1 {
 		fmt.Fprintf(os.Stderr, "pastbench: -shards must be >= 1, got %d\n", *shards)
@@ -235,6 +237,17 @@ func main() {
 	}))
 	fmt.Fprintf(os.Stderr, "NetworkBuild64 done\n")
 
+	var seriesOut *os.File
+	if *seriesPath != "" {
+		experiments.CollectSeries = true
+		f, err := os.Create(*seriesPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pastbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		seriesOut = f
+	}
 	runProbe := func(idStr string, scale experiments.Scale, scaleName string) {
 		resetPeakRSS()
 		start := time.Now()
@@ -242,6 +255,12 @@ func main() {
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiment %s@%s: %v\n", idStr, scaleName, err)
 			os.Exit(1)
+		}
+		if seriesOut != nil && res.SeriesLP != "" {
+			if _, err := seriesOut.WriteString(res.SeriesLP); err != nil {
+				fmt.Fprintf(os.Stderr, "pastbench: write %s: %v\n", *seriesPath, err)
+				os.Exit(1)
+			}
 		}
 		wall := time.Since(start)
 		er := ExpResult{

@@ -29,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"os"
 	"os/signal"
 	"strings"
@@ -38,6 +39,7 @@ import (
 	"past"
 	"past/internal/seccrypt"
 	"past/internal/tasks"
+	"past/internal/telemetry"
 )
 
 func main() {
@@ -57,6 +59,8 @@ func main() {
 		failAfter  = flag.Duration("failtimeout", 0, "declare a silent peer dead after this long (0 = 3x keepalive)")
 		sweepEvery = flag.Duration("anti-entropy", 10*time.Second, "minimum interval between periodic anti-entropy sweeps")
 		status     = flag.Duration("status", 30*time.Second, "status print interval (0 disables)")
+		telAddr    = flag.String("telemetry", "", "TCP address serving a plaintext line-protocol telemetry dump per connection (empty disables)")
+		telWindow  = flag.Duration("telemetry-window", 10*time.Second, "telemetry aggregation window")
 	)
 	flag.Parse()
 	if *brokerSeed == "" {
@@ -102,9 +106,51 @@ func main() {
 		fmt.Printf("pastnode: recovered %d files from %s (%d quarantined)\n", recovered, *dataDir, quarantined)
 	}
 
+	// Telemetry: wall-clock windows relative to process start, stamped
+	// with real time via the epoch. The recorder always runs (it is a few
+	// ring buffers); -telemetry only controls the dump listener.
+	start := time.Now()
+	rec := telemetry.New(telemetry.Config{Window: *telWindow, EpochNs: start.UnixNano()})
+	rec.SetTag("node", peer.Ref().ID.String())
+	peer.RegisterTelemetry(rec)
+
 	run := tasks.New(func(format string, args ...any) {
 		fmt.Printf("pastnode: "+format+"\n", args...)
 	})
+	rec.Multi("tasks", []string{"runs", "failures"}, func() []float64 {
+		var runs, failures int
+		for _, st := range run.Statuses() {
+			runs += st.Runs
+			failures += st.Failures
+		}
+		return []float64{float64(runs), float64(failures)}
+	})
+	// The flush job is the daemon's analogue of the simulator's window
+	// barrier: it ticks the recorder on the real clock. Half-window
+	// cadence bounds how late a boundary can be noticed.
+	run.Every("telemetry", *telWindow/2, func(context.Context) error {
+		rec.Tick(time.Since(start))
+		return nil
+	})
+	if *telAddr != "" {
+		ln, err := net.Listen("tcp", *telAddr)
+		if err != nil {
+			fatal(err)
+		}
+		defer ln.Close()
+		fmt.Printf("pastnode: telemetry on %s\n", ln.Addr())
+		go func() {
+			for {
+				conn, err := ln.Accept()
+				if err != nil {
+					return // listener closed on shutdown
+				}
+				rec.Tick(time.Since(start))
+				_ = rec.WriteLP(conn)
+				conn.Close() //nolint:errcheck // one-shot dump socket
+			}
+		}()
+	}
 	if *bootstrap {
 		peer.Bootstrap()
 		fmt.Println("pastnode: bootstrapped new PAST network")
@@ -136,16 +182,43 @@ func main() {
 	}
 	if *status > 0 {
 		run.Every("status", *status, func(context.Context) error {
-			fmt.Printf("pastnode: storing %d files, %d peers known\n", peer.StoredFiles(), peer.KnownPeers())
+			recovered, quarantined := peer.Recovered()
+			line := fmt.Sprintf("pastnode: storing %d files, %d peers known", peer.StoredFiles(), peer.KnownPeers())
+			if *dataDir != "" {
+				line += fmt.Sprintf(", disk recovered %d / quarantined %d", recovered, quarantined)
+			}
+			var failures int
+			for _, st := range run.Statuses() {
+				failures += st.Failures
+			}
+			if failures > 0 {
+				line += fmt.Sprintf(", %d task failures", failures)
+			}
+			fmt.Println(line)
 			return nil
 		})
 	}
 	run.Start()
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	s := <-sig
-	fmt.Printf("pastnode: %s: shutting down\n", s)
+	// SIGUSR1 dumps the full telemetry snapshot: series in line
+	// protocol, disk recovery counts, and per-task scheduler stats.
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM, syscall.SIGUSR1)
+	for s := range sig {
+		if s == syscall.SIGUSR1 {
+			rec.Tick(time.Since(start))
+			recovered, quarantined := peer.Recovered()
+			fmt.Printf("pastnode: telemetry snapshot (uptime %s)\n", time.Since(start).Round(time.Second))
+			fmt.Printf("pastnode: disk: recovered %d, quarantined %d\n", recovered, quarantined)
+			for _, st := range run.Statuses() {
+				fmt.Printf("pastnode: task %s\n", st)
+			}
+			_ = rec.WriteLP(os.Stdout)
+			continue
+		}
+		fmt.Printf("pastnode: %s: shutting down\n", s)
+		break
+	}
 	if !run.Stop(10 * time.Second) {
 		fmt.Println("pastnode: background tasks did not drain in time")
 	}

@@ -28,7 +28,8 @@ func main() {
 		seedFlag   = flag.Int64("seed", 42, "random seed; identical seeds reproduce identical tables")
 		shardsFlag = flag.Int("shards", experiments.Shards,
 			"simulation shards for the single-cluster phase experiments (E2-E5, E8, E9, E12-E17);\ntables are byte-identical for any value >= 1, so this only selects parallelism (default: core count)")
-		listFlag = flag.Bool("list", false, "list experiment ids and exit")
+		listFlag   = flag.Bool("list", false, "list experiment ids and exit")
+		seriesFlag = flag.String("series", "", "write per-window telemetry series (line protocol) for the instrumented experiments (E15, E18, E20) to this file")
 
 		churnRate    = flag.Float64("churn-rate-scale", experiments.Churn.RateScale, "multiplier on the churn experiments' (E15-E17) node arrival rates")
 		churnSession = flag.Duration("churn-session", experiments.Churn.MedianSession, "median node session length for the churn experiments")
@@ -63,6 +64,17 @@ func main() {
 	if *expFlag != "all" {
 		ids = strings.Split(*expFlag, ",")
 	}
+	var seriesOut *os.File
+	if *seriesFlag != "" {
+		experiments.CollectSeries = true
+		seriesOut, err = os.Create(*seriesFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pastsim: %v\n", err)
+			os.Exit(1)
+		}
+		defer seriesOut.Close()
+	}
+	seriesLines := 0
 	for _, id := range ids {
 		id = strings.TrimSpace(id)
 		start := time.Now()
@@ -73,5 +85,15 @@ func main() {
 		}
 		fmt.Println(res.String())
 		fmt.Printf("(%s in %.1fs)\n\n", id, time.Since(start).Seconds())
+		if seriesOut != nil && res.SeriesLP != "" {
+			if _, err := seriesOut.WriteString(res.SeriesLP); err != nil {
+				fmt.Fprintf(os.Stderr, "pastsim: write %s: %v\n", *seriesFlag, err)
+				os.Exit(1)
+			}
+			seriesLines += strings.Count(res.SeriesLP, "\n")
+		}
+	}
+	if seriesOut != nil {
+		fmt.Printf("wrote %d series points to %s\n", seriesLines, *seriesFlag)
 	}
 }

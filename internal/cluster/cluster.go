@@ -9,6 +9,7 @@ import (
 	"past/internal/id"
 	"past/internal/pastry"
 	"past/internal/simnet"
+	"past/internal/telemetry"
 	"past/internal/topology"
 	"past/internal/wire"
 )
@@ -534,3 +535,25 @@ func (c *Cluster) Rand() *rand.Rand { return c.rng }
 // RunSettle processes events for the given virtual duration, letting
 // keep-alive and repair traffic run.
 func (c *Cluster) RunSettle(d time.Duration) { c.Net.RunFor(d) }
+
+// AttachTelemetry ticks rec at every window barrier of the sharded
+// engine and registers the cluster-level series: live_nodes (overlay
+// membership as churn sees it) and net_events (message deliveries per
+// window, with a per-second rate). All samples are pure reads taken at
+// barriers, so the series inherit the engine's shard-count determinism.
+// Call once per recorder, after Build; requires Shards >= 1.
+func (c *Cluster) AttachTelemetry(rec *telemetry.Recorder) {
+	rec.Gauge("live_nodes", func() float64 { return float64(c.LiveCount()) })
+	var prevMsgs uint64
+	secs := rec.Window().Seconds()
+	rec.Multi("net_events", []string{"value", "per_sec"}, func() []float64 {
+		cur := c.Net.Messages()
+		delta := cur - prevMsgs
+		if cur < prevMsgs { // counters were reset mid-run
+			delta = cur
+		}
+		prevMsgs = cur
+		return []float64{float64(delta), float64(delta) / secs}
+	})
+	c.Net.SetBarrierHook(rec.Tick)
+}

@@ -15,6 +15,7 @@ package experiments
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"past/internal/adversary"
@@ -78,11 +79,13 @@ func honestNodes(n int, bad []int) []int {
 
 // advLookups runs count lookups of random files from random honest
 // clients and reports successes and the hop summary of the successes.
-func advLookups(pc *pastCluster, honest []int, ids []id.File, count int) (ok int, hops metrics.Summary) {
+func advLookups(pc *pastCluster, honest []int, ids []id.File, count int, es *expSeries) (ok int, hops metrics.Summary) {
 	for l := 0; l < count; l++ {
 		client := honest[pc.Rand().Intn(len(honest))]
 		f := ids[pc.Rand().Intn(len(ids))]
+		t0 := es.now()
 		lr := pc.lookup(client, f)
+		es.lookup(es.now()-t0, lr.Hops, lr.Err)
 		if lr.Err == nil {
 			ok++
 			hops.Add(float64(lr.Hops))
@@ -119,6 +122,7 @@ func E18AdversarialLookups(scale Scale, seed int64) Result {
 		{adversary.Misrouter, 0.2}, {adversary.Misrouter, 0.3}, {adversary.Misrouter, 0.4},
 	}
 	tbl := &metrics.Table{Header: []string{"policy", "malicious", "success (no retry)", "hops", "success (retry)", "hops", "retries", "aborts"}}
+	var series strings.Builder
 	for _, r := range rows {
 		pc := mustPAST(n, seed, cfg, nil, sharded)
 		ids := advPopulate(pc, files, "adv")
@@ -127,13 +131,19 @@ func E18AdversarialLookups(scale Scale, seed int64) Result {
 			adversary.Install(r.policy, seed+102, pc.Eps[i], pc.PAST[i], 1)
 		}
 		honest := honestNodes(n, bad)
+		// One recorder per row; the defense phase flip shows up as a step
+		// in lookup_ok and the past series' lookup_retries deltas.
+		es := newExpSeries(pc.Cluster, func() []*past.Node { return pc.PAST }, &series,
+			[2]string{"exp", "E18"}, [2]string{"policy", r.policy.String()},
+			[2]string{"frac", fmt.Sprintf("%.2f", r.frac)}, [2]string{"scale", scale.String()})
 		// Phase 1: defenses off (the build config has LookupRetries=0).
-		offOK, offHops := advLookups(pc, honest, ids, lookups)
+		offOK, offHops := advLookups(pc, honest, ids, lookups, es)
 		// Phase 2: same overlay, same adversaries, defenses on.
 		for _, pn := range pc.PAST {
 			pn.SetResilience(advRetries, advBackoff, advHopBudget)
 		}
-		onOK, onHops := advLookups(pc, honest, ids, lookups)
+		onOK, onHops := advLookups(pc, honest, ids, lookups, es)
+		es.finish()
 		var retries, aborts int
 		for _, pn := range pc.PAST {
 			st := pn.Stats()
@@ -154,6 +164,7 @@ func E18AdversarialLookups(scale Scale, seed int64) Result {
 			fmt.Sprintf("defense: up to %d retries, each via a different neighbor, backoff base %s, hop budget %d", advRetries, advBackoff, advHopBudget),
 			"droppers discard routed requests they should forward but still answer directly; misrouters bounce requests to random leaf-set members",
 		},
+		SeriesLP: series.String(),
 	}
 }
 
@@ -246,7 +257,7 @@ func E19ReceiptContainment(scale Scale, seed int64) Result {
 		lookups := 2 * len(fileIDs)
 		lookOK := 0
 		if lookups > 0 {
-			lookOK, _ = advLookups(pc, honest, fileIDs, lookups)
+			lookOK, _ = advLookups(pc, honest, fileIDs, lookups, nil)
 		}
 		tbl.AddRow(r.policy.String(), fmt.Sprintf("%.0f%%", r.frac*100),
 			fmt.Sprintf("%d/%d", insertsOK, files), forged, divRetries,
@@ -300,6 +311,25 @@ func E20RegionalOutage(scale Scale, seed int64) Result {
 	// Let diverted replicas and anti-entropy settle so the pre-outage
 	// phase measures the steady state, not the insert transient.
 	cp.RunSettle(3 * time.Second)
+	countHealthy := func() (atLeast1, atLeastK int) {
+		for _, f := range ids {
+			c := cp.liveVerifiedCopies(f)
+			if c >= 1 {
+				atLeast1++
+			}
+			if c >= cfg.K {
+				atLeastK++
+			}
+		}
+		return
+	}
+	// Telemetry opens on the settled steady state: the series shows the
+	// outage dip (live_nodes, lookup_ok, replicas ge_k) and the post-heal
+	// recovery window by window.
+	var series strings.Builder
+	es := newExpSeries(cp.Cluster, func() []*past.Node { return cp.nodes }, &series,
+		[2]string{"exp", "E20"}, [2]string{"scale", scale.String()})
+	es.trackReplicas(func() (int, int) { return countHealthy() }, func() int { return len(ids) })
 	dom := cp.Topo.Transit(0)
 	tr := &churn.Trace{Events: []churn.Event{
 		{At: outageAt, Kind: churn.Outage, Node: dom},
@@ -324,18 +354,6 @@ func E20RegionalOutage(scale Scale, seed int64) Result {
 		{"during outage", outageAt - time.Second, healAt - time.Second},
 		{"after heal", healAt - time.Second, horizon},
 	}
-	countHealthy := func() (atLeast1, atLeastK int) {
-		for _, f := range ids {
-			c := cp.liveVerifiedCopies(f)
-			if c >= 1 {
-				atLeast1++
-			}
-			if c >= cfg.K {
-				atLeastK++
-			}
-		}
-		return
-	}
 	tbl := &metrics.Table{Header: []string{"phase", "lookups", "success", "avg hops", "files >= 1 copy", "files >= k"}}
 	outageSize, recoverAt := 0, time.Duration(0)
 	for _, ph := range phases {
@@ -357,7 +375,9 @@ func E20RegionalOutage(scale Scale, seed int64) Result {
 			}
 			for l := 0; l < 2; l++ {
 				f := ids[cp.Rand().Intn(len(ids))]
+				t0 := es.now()
 				lr := cp.lookup(cp.RandomLiveNode(), f)
+				es.lookup(es.now()-t0, lr.Hops, lr.Err)
 				total++
 				if lr.Err == nil {
 					ok++
@@ -369,6 +389,7 @@ func E20RegionalOutage(scale Scale, seed int64) Result {
 		tbl.AddRow(ph.name, total, frac(ok, total), fmt.Sprintf("%.2f", hops.Mean()),
 			fmt.Sprintf("%d/%d", atLeast1, len(ids)), fmt.Sprintf("%d/%d", atLeastK, len(ids)))
 	}
+	es.finish()
 	recovery := "not within horizon"
 	if recoverAt > 0 {
 		recovery = fmt.Sprintf("%s after heal", recoverAt-healAt)
@@ -382,6 +403,7 @@ func E20RegionalOutage(scale Scale, seed int64) Result {
 			fmt.Sprintf("outage crashed %d nodes at once; crashed nodes keep their stores and rejoin on heal", outageSize),
 			fmt.Sprintf("full k-replica invariant restored: %s; %d async arrivals joined during the run", recovery, d.Stats.Arrivals),
 		},
+		SeriesLP: series.String(),
 	}
 }
 

@@ -8,6 +8,7 @@ package experiments
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"past/internal/churn"
@@ -190,6 +191,7 @@ func E15ChurnAvailability(scale Scale, seed int64) Result {
 	cfg := churnPASTConfig()
 	tbl := &metrics.Table{Header: []string{"arrivals/min", "arrived", "departed", "live at end", "lookups", "success", "avg hops"}}
 	var events uint64
+	var series strings.Builder
 	for _, rate := range rates {
 		cp := buildChurnPAST(n, seed, cfg, tier...)
 		var ids []id.File
@@ -199,6 +201,16 @@ func E15ChurnAvailability(scale Scale, seed int64) Result {
 				ids = append(ids, res.FileID)
 			}
 		}
+		// Telemetry attaches after population so the series opens on the
+		// steady state; the churn dip then stands out per window.
+		es := newExpSeries(cp.Cluster, func() []*past.Node { return cp.nodes }, &series,
+			[2]string{"exp", "E15"}, [2]string{"rate", fmt.Sprintf("%.2f", rate)},
+			[2]string{"scale", scale.String()})
+		if scale == Small || scale == Full {
+			// Replica health sweeps every live node's store per tracked
+			// file — fine here, skipped on the 20k-node tiers.
+			es.trackReplicas(healthCounter(&ids, cfg.K, cp.liveVerifiedCopies))
+		}
 		d := churn.NewDriver(cp.Cluster, churnTrace(seed+21, n, rate, Churn.MedianSession, horizon))
 		d.MinLive = n / 2
 		ok, total := 0, 0
@@ -207,7 +219,9 @@ func E15ChurnAvailability(scale Scale, seed int64) Result {
 			d.Advance(tick)
 			for l := 0; l < 2; l++ {
 				f := ids[cp.Rand().Intn(len(ids))]
+				t0 := es.now()
 				lr := cp.lookup(cp.RandomLiveNode(), f)
+				es.lookup(es.now()-t0, lr.Hops, lr.Err)
 				total++
 				if lr.Err == nil {
 					ok++
@@ -215,6 +229,7 @@ func E15ChurnAvailability(scale Scale, seed int64) Result {
 				}
 			}
 		}
+		es.finish()
 		tbl.AddRow(fmt.Sprintf("%.0f", rate*Churn.RateScale*60),
 			d.Stats.Arrivals, d.Stats.Leaves+d.Stats.Crashes, cp.LiveCount(),
 			total, frac(ok, total), hops.Mean())
@@ -228,8 +243,9 @@ func E15ChurnAvailability(scale Scale, seed int64) Result {
 		Notes: append([]string{
 			fmt.Sprintf("crash fraction %.0f%% of departures; departures floored at N/2 live", Churn.CrashFrac*100),
 		}, notes...),
-		Nodes:  n,
-		Events: events,
+		Nodes:    n,
+		Events:   events,
+		SeriesLP: series.String(),
 	}
 }
 

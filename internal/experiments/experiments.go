@@ -81,6 +81,11 @@ type Result struct {
 	// parsing tables. They do not appear in String() output.
 	Nodes  int
 	Events uint64
+	// SeriesLP holds the experiment's per-window telemetry in line
+	// protocol when CollectSeries is on (experiments that instrument
+	// series: E15, E18, E20). Not part of String() output; pastsim and
+	// pastbench persist it via -series.
+	SeriesLP string
 }
 
 // String renders the result for terminal output.

@@ -8,11 +8,52 @@ import (
 )
 
 // Summary accumulates a stream of float64 observations.
+//
+// By default every observation is retained so Percentile is exact; the
+// recorded experiment tables (Small/Full tiers) depend on that. Limit
+// switches to a bounded reservoir so huge-tier runs and per-window
+// telemetry stay O(limit) instead of O(events).
 type Summary struct {
 	n        int
 	sum, sq  float64
 	min, max float64
-	values   []float64 // retained for percentiles
+	values   []float64 // retained for percentiles (reservoir when limit > 0)
+	limit    int       // 0 = exact mode: retain everything
+	rng      uint64    // splitmix64 state for reservoir replacement
+}
+
+// reservoirSeed is the fixed splitmix64 seed: reservoir sampling stays
+// deterministic per Summary instance, independent of everything else.
+const reservoirSeed = 0x9e3779b97f4a7c15
+
+// Limit bounds the observations retained for Percentile to at most cap,
+// using uniform reservoir sampling (Algorithm R with a deterministic
+// splitmix64 stream). Mean/Std/Min/Max remain exact; Percentile becomes
+// an estimate once more than cap values have been added — until then it
+// is byte-identical to exact mode, since no replacement draws happen.
+// Call before the first Add. cap <= 0 restores exact mode.
+func (s *Summary) Limit(cap int) {
+	s.limit = cap
+	s.rng = reservoirSeed
+}
+
+// Reset clears the summary for reuse (telemetry windows), keeping the
+// retention mode and re-seeding the reservoir stream so each window's
+// result is independent of how many windows came before it.
+func (s *Summary) Reset() {
+	s.n = 0
+	s.sum, s.sq, s.min, s.max = 0, 0, 0, 0
+	s.values = s.values[:0]
+	s.rng = reservoirSeed
+}
+
+// splitmix64 advances the reservoir RNG one step.
+func (s *Summary) splitmix64() uint64 {
+	s.rng += 0x9e3779b97f4a7c15
+	z := s.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
 }
 
 // Add records one observation.
@@ -26,7 +67,15 @@ func (s *Summary) Add(v float64) {
 	s.n++
 	s.sum += v
 	s.sq += v * v
-	s.values = append(s.values, v)
+	if s.limit <= 0 || len(s.values) < s.limit {
+		s.values = append(s.values, v)
+		return
+	}
+	// Reservoir full: keep v with probability limit/n, evicting a
+	// uniformly random resident (Algorithm R).
+	if j := int(s.splitmix64() % uint64(s.n)); j < s.limit {
+		s.values[j] = v
+	}
 }
 
 // N returns the observation count.
@@ -59,19 +108,22 @@ func (s *Summary) Min() float64 { return s.min }
 // Max returns the largest observation (0 when empty).
 func (s *Summary) Max() float64 { return s.max }
 
-// Percentile returns the p-th percentile (0 <= p <= 100) by nearest-rank.
+// Percentile returns the p-th percentile (0 <= p <= 100) by nearest-rank
+// over the retained values (all of them in exact mode, a uniform sample
+// in reservoir mode — identical until the reservoir overflows).
 func (s *Summary) Percentile(p float64) float64 {
-	if s.n == 0 {
+	m := len(s.values)
+	if m == 0 {
 		return 0
 	}
 	sorted := append([]float64(nil), s.values...)
 	sort.Float64s(sorted)
-	rank := int(math.Ceil(p / 100 * float64(s.n)))
+	rank := int(math.Ceil(p / 100 * float64(m)))
 	if rank < 1 {
 		rank = 1
 	}
-	if rank > s.n {
-		rank = s.n
+	if rank > m {
+		rank = m
 	}
 	return sorted[rank-1]
 }

@@ -110,3 +110,80 @@ func TestTable(t *testing.T) {
 		t.Fatal("separator not sized to data")
 	}
 }
+
+// TestLimitMatchesExactUnderCap pins the telemetry-critical property:
+// a bounded summary whose cap was never exceeded is byte-identical to
+// exact mode — no reservoir draws happen, so recorded tables cannot
+// change when a limit is merely *configured*.
+func TestLimitMatchesExactUnderCap(t *testing.T) {
+	var exact, bounded Summary
+	bounded.Limit(1000)
+	for i := 0; i < 1000; i++ {
+		v := float64((i * 7919) % 257)
+		exact.Add(v)
+		bounded.Add(v)
+	}
+	if exact.String() != bounded.String() {
+		t.Fatalf("under-cap bounded differs from exact:\n  %s\n  %s", exact.String(), bounded.String())
+	}
+	for _, p := range []float64{0, 25, 50, 95, 99, 100} {
+		if exact.Percentile(p) != bounded.Percentile(p) {
+			t.Fatalf("p%.0f differs: %v vs %v", p, exact.Percentile(p), bounded.Percentile(p))
+		}
+	}
+}
+
+// TestLimitBoundsMemoryAndEstimates pins that an over-cap reservoir
+// keeps at most cap values, keeps mean/min/max exact, and estimates
+// percentiles within loose bounds on uniform data.
+func TestLimitBoundsMemoryAndEstimates(t *testing.T) {
+	var s Summary
+	s.Limit(512)
+	n := 100_000
+	for i := 0; i < n; i++ {
+		s.Add(float64(i % 1000)) // uniform over [0,1000)
+	}
+	if len(s.values) > 512 {
+		t.Fatalf("reservoir holds %d values, cap 512", len(s.values))
+	}
+	if s.N() != n || s.Min() != 0 || s.Max() != 999 {
+		t.Fatalf("exact aggregates wrong: n=%d min=%v max=%v", s.N(), s.Min(), s.Max())
+	}
+	if m := s.Mean(); math.Abs(m-499.5) > 1e-6 {
+		t.Fatalf("mean = %v, want 499.5", m)
+	}
+	if p := s.Percentile(50); p < 400 || p > 600 {
+		t.Fatalf("p50 estimate %v implausible for uniform [0,1000)", p)
+	}
+	// Determinism: the same stream always yields the same reservoir.
+	var s2 Summary
+	s2.Limit(512)
+	for i := 0; i < n; i++ {
+		s2.Add(float64(i % 1000))
+	}
+	if s.Percentile(50) != s2.Percentile(50) || s.Percentile(99) != s2.Percentile(99) {
+		t.Fatal("reservoir sampling is not deterministic")
+	}
+}
+
+// TestSummaryReset pins that Reset restores a summary (including its
+// reservoir stream) to the freshly-constructed state.
+func TestSummaryReset(t *testing.T) {
+	var a, b Summary
+	a.Limit(64)
+	b.Limit(64)
+	for i := 0; i < 500; i++ {
+		a.Add(float64(i))
+	}
+	a.Reset()
+	if a.N() != 0 || a.Mean() != 0 || a.Percentile(50) != 0 {
+		t.Fatalf("Reset left state: %s", a.String())
+	}
+	for i := 0; i < 500; i++ {
+		a.Add(float64(i ^ 3))
+		b.Add(float64(i ^ 3))
+	}
+	if a.String() != b.String() || a.Percentile(90) != b.Percentile(90) {
+		t.Fatalf("post-Reset summary differs from fresh:\n  %s\n  %s", a.String(), b.String())
+	}
+}

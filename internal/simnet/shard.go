@@ -401,5 +401,8 @@ func (n *Net) windowStep(limit time.Duration) (processed uint64, more bool) {
 		processed += s.processed
 	}
 	n.now = horizon
+	if n.barrierHook != nil {
+		n.barrierHook(horizon)
+	}
 	return processed, true
 }

@@ -105,6 +105,13 @@ type Net struct {
 	// their interleaving ACROSS shards depends on scheduling; per-endpoint
 	// observation order is still deterministic.
 	TraceFn func(at time.Duration, from, to string, m wire.Msg)
+	// barrierHook, if set, runs on the coordinator at the end of every
+	// conservative window (all shards quiescent, n.now = the new barrier
+	// time) and after deadline jumps in RunFor. The window schedule is a
+	// function of cross-shard minima, so hook times — and anything the
+	// hook samples — are identical at any shard/worker count. Telemetry
+	// recorders tick from here.
+	barrierHook func(now time.Duration)
 }
 
 // New creates a simulated network whose latency comes from dist.
@@ -174,6 +181,12 @@ func (n *Net) NumEndpoints() int { return len(n.eps) }
 // the time of the last window barrier; per-endpoint clocks may be ahead
 // of it while a window executes.
 func (n *Net) Now() time.Duration { return n.now }
+
+// SetBarrierHook installs fn to run on the coordinator at every window
+// barrier of the sharded engine (and after RunFor deadline jumps). The
+// legacy single-queue engine never calls it. fn must only read network
+// state; set nil to detach. Not safe to call while a run is in progress.
+func (n *Net) SetBarrierHook(fn func(now time.Duration)) { n.barrierHook = fn }
 
 // Messages returns the total number of messages delivered so far.
 func (n *Net) Messages() uint64 {
@@ -333,6 +346,9 @@ func (n *Net) RunFor(d time.Duration) {
 			}
 		}
 		n.advanceAll(deadline)
+		if n.barrierHook != nil {
+			n.barrierHook(n.now)
+		}
 		return
 	}
 	s := n.shards[0]

@@ -31,6 +31,19 @@ type Status struct {
 	Done     bool // a run-until-success task that has succeeded
 }
 
+// String renders one status line for operator output (daemon status
+// prints, SIGUSR1 snapshots).
+func (s Status) String() string {
+	out := fmt.Sprintf("%s: runs=%d failures=%d", s.Name, s.Runs, s.Failures)
+	if s.Done {
+		out += " done"
+	}
+	if s.LastErr != nil {
+		out += fmt.Sprintf(" last-error=%q", s.LastErr.Error())
+	}
+	return out
+}
+
 type entry struct {
 	name  string
 	every time.Duration // periodic interval; zero for run-until-success

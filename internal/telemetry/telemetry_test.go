@@ -1,0 +1,175 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRingWraparound pins the fixed-capacity retention: with capacity c,
+// only the newest c windows survive, oldest first.
+func TestRingWraparound(t *testing.T) {
+	r := New(Config{Window: time.Second, Capacity: 4})
+	var v float64
+	r.Gauge("g", func() float64 { return v })
+	for i := 0; i < 10; i++ {
+		v = float64(i)
+		// Tick at the *end* of window i so the flush samples this
+		// window's value.
+		r.Tick(time.Duration(i+1) * time.Second)
+	}
+	// Windows flushed: tick at (i+1)s closes window [i-? ...]; first tick
+	// aligns only. Nine flushes happened (i=1..9), values 1..9; capacity
+	// keeps the last four.
+	pts := r.Points("g")
+	if len(pts) != 4 {
+		t.Fatalf("retained %d points, want 4", len(pts))
+	}
+	wantVals := []float64{6, 7, 8, 9}
+	wantAt := []time.Duration{6 * time.Second, 7 * time.Second, 8 * time.Second, 9 * time.Second}
+	for i, p := range pts {
+		if p.Vals[0] != wantVals[i] || p.At != wantAt[i] {
+			t.Fatalf("point %d = {%v %v}, want {%v %v}", i, p.At, p.Vals[0], wantAt[i], wantVals[i])
+		}
+	}
+}
+
+// TestCounterWindows pins counter delta/rate semantics across windows.
+func TestCounterWindows(t *testing.T) {
+	r := New(Config{Window: 2 * time.Second, Capacity: 16})
+	c := r.Counter("ops")
+	r.Tick(0) // align
+	c.Add(10)
+	r.Tick(2 * time.Second)
+	c.Add(4)
+	r.Tick(6 * time.Second) // crosses two boundaries: 4s and 6s
+	pts := r.Points("ops")
+	if len(pts) != 3 {
+		t.Fatalf("got %d points, want 3", len(pts))
+	}
+	if pts[0].Vals[0] != 10 || pts[0].Vals[1] != 5 {
+		t.Fatalf("window 0 = %v, want value=10 per_sec=5", pts[0].Vals)
+	}
+	if pts[1].Vals[0] != 4 {
+		t.Fatalf("window 1 delta = %v, want 4", pts[1].Vals[0])
+	}
+	if pts[2].Vals[0] != 0 {
+		t.Fatalf("catch-up window delta = %v, want 0", pts[2].Vals[0])
+	}
+}
+
+// TestDistReset pins that each window's distribution is independent.
+func TestDistReset(t *testing.T) {
+	r := New(Config{Window: time.Second, Capacity: 8})
+	d := r.Dist("lat")
+	r.Tick(0)
+	d.Observe(1)
+	d.Observe(3)
+	r.Tick(time.Second)
+	d.Observe(7)
+	r.Tick(2 * time.Second)
+	pts := r.Points("lat")
+	if len(pts) != 2 {
+		t.Fatalf("got %d points, want 2", len(pts))
+	}
+	if pts[0].Vals[0] != 2 || pts[0].Vals[1] != 2 { // count, mean
+		t.Fatalf("window 0 = %v, want count=2 mean=2", pts[0].Vals)
+	}
+	if pts[1].Vals[0] != 1 || pts[1].Vals[3] != 7 { // count, max
+		t.Fatalf("window 1 = %v, want count=1 max=7", pts[1].Vals)
+	}
+}
+
+// TestFlushPartialWindow pins that Flush emits the trailing partial
+// window and that a Flush at an exact boundary does not double-emit.
+func TestFlushPartialWindow(t *testing.T) {
+	r := New(Config{Window: time.Second, Capacity: 8})
+	c := r.Counter("ops")
+	r.Tick(0)
+	c.Add(2)
+	r.Flush(1500 * time.Millisecond) // full window [0,1s) + partial [1s,1.5s)
+	pts := r.Points("ops")
+	if len(pts) != 2 {
+		t.Fatalf("got %d points, want 2 (full + partial)", len(pts))
+	}
+	if pts[0].Vals[0] != 2 || pts[1].Vals[0] != 0 {
+		t.Fatalf("deltas = %v,%v, want 2,0", pts[0].Vals[0], pts[1].Vals[0])
+	}
+
+	r2 := New(Config{Window: time.Second, Capacity: 8})
+	c2 := r2.Counter("ops")
+	r2.Tick(0)
+	c2.Add(5)
+	r2.Flush(time.Second) // exact boundary: one window only
+	if got := len(r2.Points("ops")); got != 1 {
+		t.Fatalf("boundary flush emitted %d points, want 1", got)
+	}
+}
+
+// TestLPRoundTrip pins that WriteLP output parses back into the same
+// names, tags, fields, and timestamps, and that emission is
+// deterministic (two dumps are byte-identical).
+func TestLPRoundTrip(t *testing.T) {
+	r := New(Config{Window: time.Second, Capacity: 8, EpochNs: 1000})
+	r.SetTag("zone", "eu west") // space forces escaping
+	r.SetTag("exp", "E15")
+	c := r.Counter("lookups")
+	d := r.Dist("hops")
+	r.Gauge("live_nodes", func() float64 { return 39.5 })
+	r.Tick(0)
+	c.Add(3)
+	d.Observe(2)
+	d.Observe(4)
+	r.Tick(time.Second)
+	r.Tick(2 * time.Second)
+
+	var b1, b2 bytes.Buffer
+	if err := r.WriteLP(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteLP(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatal("two WriteLP dumps differ")
+	}
+
+	pts, err := ParseLP(&b1)
+	if err != nil {
+		t.Fatalf("ParseLP: %v", err)
+	}
+	// 3 series x 2 windows
+	if len(pts) != 6 {
+		t.Fatalf("parsed %d points, want 6", len(pts))
+	}
+	for _, p := range pts {
+		if p.Tags["exp"] != "E15" || p.Tags["zone"] != "eu west" {
+			t.Fatalf("tags lost: %v", p.Tags)
+		}
+	}
+	if pts[0].Name != "lookups" || pts[0].Fields["value"] != 3 || pts[0].TS != 1000 {
+		t.Fatalf("first point = %+v, want lookups value=3 ts=1000", pts[0])
+	}
+	if pts[2].Name != "hops" || pts[2].Fields["p99"] != 4 || pts[2].Fields["count"] != 2 {
+		t.Fatalf("hops point = %+v", pts[2])
+	}
+	// Tags must be sorted by key in the raw text.
+	line := strings.SplitN(b2.String(), "\n", 2)[0]
+	if !strings.HasPrefix(line, `lookups,exp=E15,zone=eu\ west `) {
+		t.Fatalf("tag order/escaping wrong: %q", line)
+	}
+}
+
+// TestTickFastPath pins that ticks inside a window emit nothing.
+func TestTickFastPath(t *testing.T) {
+	r := New(Config{Window: time.Second, Capacity: 8})
+	r.Gauge("g", func() float64 { return 1 })
+	r.Tick(0)
+	for i := 0; i < 100; i++ {
+		r.Tick(time.Duration(i) * time.Millisecond)
+	}
+	if got := len(r.Points("g")); got != 0 {
+		t.Fatalf("mid-window ticks flushed %d points, want 0", got)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"past/internal/pastry"
 	"past/internal/seccrypt"
 	"past/internal/storage"
+	"past/internal/telemetry"
 	"past/internal/transport"
 	"past/internal/wire"
 )
@@ -239,6 +240,20 @@ func (p *Peer) Reclaim(card *Smartcard, f FileID) (ReclaimResult, error) {
 
 // StoredFiles returns how many replicas this node currently stores.
 func (p *Peer) StoredFiles() int { return p.past.Store().Len() }
+
+// Stats returns this node's storage-layer counters (stores, lookups,
+// cache activity, maintenance traffic). The snapshot is consistent.
+func (p *Peer) Stats() NodeStats { return p.past.Stats() }
+
+// RegisterTelemetry registers this peer's series on rec: the storage
+// layer's per-window deltas plus stored_files and known_peers gauges.
+// The caller owns the recorder's clock — the daemon ticks it from a
+// periodic task and sets PeerConfig-independent wall-clock epochs.
+func (p *Peer) RegisterTelemetry(rec *telemetry.Recorder) {
+	pastcore.RegisterTelemetry(rec, func() []*pastcore.Node { return []*pastcore.Node{p.past} })
+	rec.Gauge("stored_files", func() float64 { return float64(p.StoredFiles()) })
+	rec.Gauge("known_peers", func() float64 { return float64(p.KnownPeers()) })
+}
 
 // KnownPeers returns how many distinct nodes this peer holds in its leaf
 // set. Joins return before announce traffic has fully propagated, so
