@@ -26,6 +26,7 @@ import (
 	"past"
 	"past/internal/cluster"
 	"past/internal/experiments"
+	"past/internal/harness"
 	"past/internal/pastry"
 	"past/internal/seccrypt"
 )
@@ -134,6 +135,10 @@ func main() {
 		"comma-separated analytic-build sizes for the bytes-per-node probe (empty disables)")
 	seriesPath := flag.String("series", "",
 		"write the experiment probes' per-window telemetry series (line protocol) to this file")
+	micro := flag.Bool("micro", true,
+		"run the in-process microbenchmarks (Insert4KiB, Lookup4KiB, InsertReclaimCycle, NetworkBuild64)")
+	chaosProbe := flag.Bool("chaos", false,
+		"run the partition+heal chaos scenario against a real 7-process cluster and record its wall clock as experiment CHAOS-PH@real")
 	flag.Parse()
 	if *shards < 1 {
 		fmt.Fprintf(os.Stderr, "pastbench: -shards must be >= 1, got %d\n", *shards)
@@ -179,63 +184,67 @@ func main() {
 		UnixTime:   time.Now().Unix(),
 	}
 
-	rep.Benchmarks = append(rep.Benchmarks, record("Insert4KiB", func(b *testing.B) {
-		nw := benchNetwork(64)
-		data := make([]byte, 4096)
-		b.ResetTimer()
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			if _, err := nw.Insert(i%64, nil, fmt.Sprintf("bench-%d", i), data, 3); err != nil {
-				b.Fatal(err)
+	// The microbenchmarks always run in CI (benchguard compares them); the
+	// chaos-smoke job turns them off to time only its scenario probe.
+	if *micro {
+		rep.Benchmarks = append(rep.Benchmarks, record("Insert4KiB", func(b *testing.B) {
+			nw := benchNetwork(64)
+			data := make([]byte, 4096)
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := nw.Insert(i%64, nil, fmt.Sprintf("bench-%d", i), data, 3); err != nil {
+					b.Fatal(err)
+				}
 			}
-		}
-	}))
-	fmt.Fprintf(os.Stderr, "Insert4KiB done\n")
+		}))
+		fmt.Fprintf(os.Stderr, "Insert4KiB done\n")
 
-	rep.Benchmarks = append(rep.Benchmarks, record("Lookup4KiB", func(b *testing.B) {
-		nw := benchNetwork(64)
-		ins, err := nw.Insert(0, nil, "bench-lookup", make([]byte, 4096), 3)
-		if err != nil {
-			b.Fatal(err)
-		}
-		b.ResetTimer()
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			if _, err := nw.Lookup(i%64, ins.FileID); err != nil {
-				b.Fatal(err)
-			}
-		}
-	}))
-	fmt.Fprintf(os.Stderr, "Lookup4KiB done\n")
-
-	rep.Benchmarks = append(rep.Benchmarks, record("InsertReclaimCycle", func(b *testing.B) {
-		nw := benchNetwork(32)
-		data := make([]byte, 1024)
-		b.ResetTimer()
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			ins, err := nw.Insert(i%32, nil, fmt.Sprintf("cycle-%d", i), data, 3)
+		rep.Benchmarks = append(rep.Benchmarks, record("Lookup4KiB", func(b *testing.B) {
+			nw := benchNetwork(64)
+			ins, err := nw.Insert(0, nil, "bench-lookup", make([]byte, 4096), 3)
 			if err != nil {
 				b.Fatal(err)
 			}
-			if _, err := nw.Reclaim(i%32, nil, ins.FileID); err != nil {
-				b.Fatal(err)
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := nw.Lookup(i%64, ins.FileID); err != nil {
+					b.Fatal(err)
+				}
 			}
-		}
-	}))
-	fmt.Fprintf(os.Stderr, "InsertReclaimCycle done\n")
+		}))
+		fmt.Fprintf(os.Stderr, "Lookup4KiB done\n")
 
-	rep.Benchmarks = append(rep.Benchmarks, record("NetworkBuild64", func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			cfg := past.DefaultStorageConfig()
-			cfg.Capacity = 1 << 20
-			if _, err := past.NewNetwork(past.NetworkConfig{N: 64, Seed: int64(i), Storage: cfg}); err != nil {
-				b.Fatal(err)
+		rep.Benchmarks = append(rep.Benchmarks, record("InsertReclaimCycle", func(b *testing.B) {
+			nw := benchNetwork(32)
+			data := make([]byte, 1024)
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ins, err := nw.Insert(i%32, nil, fmt.Sprintf("cycle-%d", i), data, 3)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := nw.Reclaim(i%32, nil, ins.FileID); err != nil {
+					b.Fatal(err)
+				}
 			}
-		}
-	}))
-	fmt.Fprintf(os.Stderr, "NetworkBuild64 done\n")
+		}))
+		fmt.Fprintf(os.Stderr, "InsertReclaimCycle done\n")
+
+		rep.Benchmarks = append(rep.Benchmarks, record("NetworkBuild64", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				cfg := past.DefaultStorageConfig()
+				cfg.Capacity = 1 << 20
+				if _, err := past.NewNetwork(past.NetworkConfig{N: 64, Seed: int64(i), Storage: cfg}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}))
+		fmt.Fprintf(os.Stderr, "NetworkBuild64 done\n")
+	}
 
 	var seriesOut *os.File
 	if *seriesPath != "" {
@@ -339,6 +348,40 @@ func main() {
 		}
 		runtime.GOMAXPROCS(oldProcs)
 		experiments.Shards = oldShards
+	}
+
+	// Chaos wall-clock probe: the partition+heal scenario end to end
+	// against a real 7-process cluster. benchguard watches its wall clock
+	// (exp:CHAOS-PH@real) so recovery-time regressions fail CI like any
+	// throughput regression.
+	if *chaosProbe {
+		dir, err := os.MkdirTemp("", "pastbench-chaos-*")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pastbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer os.RemoveAll(dir)
+		bin, err := harness.BuildPastnode(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pastbench: build pastnode: %v\n", err)
+			os.Exit(1)
+		}
+		start := time.Now()
+		phRep, err := harness.RunPartitionHeal(bin, dir, func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "chaos: "+format+"\n", args...)
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pastbench: chaos partition+heal: %v\n", err)
+			os.Exit(1)
+		}
+		rep.Experiments = append(rep.Experiments, ExpResult{
+			ID: "CHAOS-PH", Scale: "real", Seed: 42,
+			WallMs: float64(time.Since(start).Microseconds()) / 1000,
+			Nodes:  7,
+			Events: uint64(phRep.Files),
+		})
+		fmt.Fprintf(os.Stderr, "chaos partition+heal done (invariant back %v after heal)\n",
+			phRep.HealToInvariant.Round(100*time.Millisecond))
 	}
 
 	rep.MemoHits, rep.MemoMisses = seccrypt.MemoStats()

@@ -33,6 +33,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -58,9 +59,16 @@ func main() {
 		keepAlive  = flag.Duration("keepalive", 5*time.Second, "overlay keep-alive (and anti-entropy trigger) interval")
 		failAfter  = flag.Duration("failtimeout", 0, "declare a silent peer dead after this long (0 = 3x keepalive)")
 		sweepEvery = flag.Duration("anti-entropy", 10*time.Second, "minimum interval between periodic anti-entropy sweeps")
+		repair     = flag.Duration("repair", 30*time.Second, "periodic forced anti-entropy repair interval (0 disables); each round re-offers file digests to replica-set peers so a healed cluster converges back to k replicas without operator action")
 		status     = flag.Duration("status", 30*time.Second, "status print interval (0 disables)")
 		telAddr    = flag.String("telemetry", "", "TCP address serving a plaintext line-protocol telemetry dump per connection (empty disables)")
 		telWindow  = flag.Duration("telemetry-window", 10*time.Second, "telemetry aggregation window")
+		joinWait   = flag.Duration("join-timeout", 5*time.Second, "bound on one join attempt through one seed; the bootstrap task cycles the seed list with backoff, so a dead seed costs this much, not a full operation timeout")
+		dialVia    = flag.String("dial-via", "", "route all outbound connections through the egress proxy at this address (chaos/fault-injection harness); empty dials peers directly")
+		brkFails   = flag.Int("breaker-threshold", 0, "consecutive dial failures before the per-peer circuit breaker opens (0 disables; suppressed peers are probed before reinstatement)")
+		brkCool    = flag.Duration("breaker-cooldown", time.Second, "initial circuit-breaker cooldown (doubles per failed probe)")
+		brkMax     = flag.Duration("breaker-max-cooldown", 30*time.Second, "cap on the doubled circuit-breaker cooldown; bounds how long a healed peer waits for its reinstatement probe")
+		leafSync   = flag.Int("leafsync", 4, "membership anti-entropy: exchange leaf sets with one random peer every Nth keepalive tick, repairing partial views left by lossy joins (0 disables)")
 	)
 	flag.Parse()
 	if *brokerSeed == "" {
@@ -95,6 +103,10 @@ func main() {
 		DataDir:     *dataDir,
 		KeepAlive:   *keepAlive,
 		FailTimeout: *failAfter,
+		LeafSync:    *leafSync,
+		JoinTimeout: *joinWait,
+		DialVia:     *dialVia,
+		Breaker:     past.BreakerOptions{Threshold: *brkFails, Cooldown: *brkCool, MaxCooldown: *brkMax},
 	})
 	if err != nil {
 		fatal(err)
@@ -155,28 +167,64 @@ func main() {
 		peer.Bootstrap()
 		fmt.Println("pastnode: bootstrapped new PAST network")
 	} else {
+		// Seed rotation shared by the bootstrap and membership-sync tasks:
+		// each failed pass leaves the cursor past the seeds it burned, so
+		// the next attempt starts at a fresh seed instead of hammering the
+		// first (possibly long-dead) entry of the list forever.
+		var joinMu sync.Mutex
+		joinNext := 0
+		rejoin := func() error {
+			joinMu.Lock()
+			defer joinMu.Unlock()
+			next, err := peer.JoinAnyFrom(seeds, joinNext)
+			joinNext = next
+			return err
+		}
 		// Join as a run-until-success task: a node started before its
-		// seeds keeps retrying with backoff instead of dying, and a
-		// restarted node re-enters the network the same way.
+		// seeds keeps retrying with capped backoff forever instead of
+		// dying, and a restarted node re-enters the network the same way.
 		run.Until("bootstrap", 500*time.Millisecond, 15*time.Second, func(context.Context) error {
-			if err := peer.JoinAny(seeds); err != nil {
+			if err := rejoin(); err != nil {
 				return err
 			}
 			fmt.Printf("pastnode: joined network (%d peers known)\n", peer.KnownPeers())
 			return nil
 		})
-		// Membership sync: if every neighbor vanishes (partition healed
-		// the wrong way, mass restart), rejoin through the static seeds
-		// rather than lingering isolated. Keep-alive and anti-entropy
-		// already run inside the node on the real clock.
+		// Membership sync: re-anchor through the static seeds when the
+		// membership view collapses. Total isolation (every neighbor
+		// vanished) is the obvious trigger; the subtler one is a partition
+		// survivor on the small side of a split — it still knows its
+		// fellow minority members, so it compares against the largest
+		// membership it ever saw and re-joins once it has lost more than
+		// half of that. Re-join on a live node merges the seed's state and
+		// re-announces without disturbing existing membership, so a false
+		// positive costs one round of join traffic, not an outage.
+		maxSeen := 0
 		run.Every("membership-sync", 4**keepAlive, func(context.Context) error {
-			if peer.KnownPeers() > 0 {
+			known := peer.KnownPeers()
+			if known > maxSeen {
+				maxSeen = known
+			}
+			if known > 0 && known >= (maxSeen+1)/2 {
 				return nil
 			}
-			if err := peer.JoinAny(seeds); err != nil {
-				return fmt.Errorf("isolated; rejoin failed: %w", err)
+			if err := rejoin(); err != nil {
+				if known == 0 {
+					return fmt.Errorf("isolated; rejoin failed: %w", err)
+				}
+				return fmt.Errorf("membership shrunk to %d/%d; rejoin failed: %w", known, maxSeen, err)
 			}
 			fmt.Printf("pastnode: rejoined network (%d peers known)\n", peer.KnownPeers())
+			return nil
+		})
+	}
+	if *repair > 0 {
+		// Self-healing: force an anti-entropy sweep on a fixed cadence,
+		// bypassing the rate limit that governs the piggybacked sweeps.
+		// After a partition heals or a node restarts, this converges every
+		// file back to k disk replicas within one repair period.
+		run.Every("repair", *repair, func(context.Context) error {
+			peer.Repair()
 			return nil
 		})
 	}
@@ -200,20 +248,30 @@ func main() {
 	}
 	run.Start()
 
-	// SIGUSR1 dumps the full telemetry snapshot: series in line
-	// protocol, disk recovery counts, and per-task scheduler stats.
+	// snapshot flushes the telemetry ring buffers and prints the full
+	// operator view: series in line protocol, disk recovery counts,
+	// transport/breaker health, and per-task scheduler stats. Used by
+	// SIGUSR1 on demand and once more on graceful shutdown, so the last
+	// partial window is never lost.
+	snapshot := func(label string) {
+		rec.Tick(time.Since(start))
+		recovered, quarantined := peer.Recovered()
+		fmt.Printf("pastnode: %s (uptime %s)\n", label, time.Since(start).Round(time.Second))
+		fmt.Printf("pastnode: disk: recovered %d, quarantined %d\n", recovered, quarantined)
+		ts := peer.TransportStats()
+		fmt.Printf("pastnode: transport: dials %d (failed %d), breaker opens %d, sends suppressed %d\n",
+			ts.Dials, ts.DialFailures, ts.BreakerOpens, ts.Suppressed)
+		for _, st := range run.Statuses() {
+			fmt.Printf("pastnode: task %s\n", st)
+		}
+		_ = rec.WriteLP(os.Stdout)
+	}
+
 	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM, syscall.SIGUSR1)
 	for s := range sig {
 		if s == syscall.SIGUSR1 {
-			rec.Tick(time.Since(start))
-			recovered, quarantined := peer.Recovered()
-			fmt.Printf("pastnode: telemetry snapshot (uptime %s)\n", time.Since(start).Round(time.Second))
-			fmt.Printf("pastnode: disk: recovered %d, quarantined %d\n", recovered, quarantined)
-			for _, st := range run.Statuses() {
-				fmt.Printf("pastnode: task %s\n", st)
-			}
-			_ = rec.WriteLP(os.Stdout)
+			snapshot("telemetry snapshot")
 			continue
 		}
 		fmt.Printf("pastnode: %s: shutting down\n", s)
@@ -222,6 +280,7 @@ func main() {
 	if !run.Stop(10 * time.Second) {
 		fmt.Println("pastnode: background tasks did not drain in time")
 	}
+	snapshot("final telemetry snapshot")
 	// peer.Close (deferred) announces departure and closes the transport.
 }
 

@@ -11,15 +11,19 @@ package harness
 import (
 	"bufio"
 	"fmt"
+	"net"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
 	"syscall"
 	"time"
+
+	"past/internal/telemetry"
 )
 
 // BuildPastnode compiles cmd/pastnode once into dir and returns the
@@ -41,18 +45,20 @@ type ProcNode struct {
 	Args    []string // flags of the most recent start, for restarts
 	LogPath string
 
-	mu     sync.Mutex
-	lines  []string
-	cmd    *exec.Cmd
-	done   chan struct{}
-	addr   string
-	nodeID string
+	mu      sync.Mutex
+	lines   []string
+	cmd     *exec.Cmd
+	done    chan struct{}
+	addr    string
+	nodeID  string
+	telAddr string
 }
 
 var (
 	listenRe    = regexp.MustCompile(`nodeId ([0-9a-f]+) listening on ([0-9.:]+)`)
 	recoveredRe = regexp.MustCompile(`recovered (\d+) files from .* \((\d+) quarantined\)`)
 	statusRe    = regexp.MustCompile(`storing (\d+) files, (\d+) peers known`)
+	telemetryRe = regexp.MustCompile(`telemetry on ([0-9.:]+)`)
 )
 
 // StartProc launches pastnode with the given flags, tees its output to
@@ -96,6 +102,9 @@ func (p *ProcNode) start() error {
 			p.lines = append(p.lines, line)
 			if m := listenRe.FindStringSubmatch(line); m != nil {
 				p.nodeID, p.addr = m[1], m[2]
+			}
+			if m := telemetryRe.FindStringSubmatch(line); m != nil {
+				p.telAddr = m[1]
 			}
 			p.mu.Unlock()
 		}
@@ -212,6 +221,70 @@ func (p *ProcNode) Stop(timeout time.Duration) error {
 	}
 }
 
+// TelemetryAddr waits for the daemon's telemetry listener announcement
+// and returns its address (the node must run with -telemetry).
+func (p *ProcNode) TelemetryAddr(timeout time.Duration) (string, error) {
+	if _, err := p.WaitLine("telemetry on", timeout); err != nil {
+		return "", err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.telAddr, nil
+}
+
+// ScrapeTelemetry dials a pastnode telemetry port and parses the one-shot
+// line-protocol dump it serves.
+func ScrapeTelemetry(addr string) ([]telemetry.LPPoint, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	if err := conn.SetReadDeadline(time.Now().Add(10 * time.Second)); err != nil {
+		return nil, err
+	}
+	return telemetry.ParseLP(conn)
+}
+
+// GaugeValues extracts one gauge series' values in timestamp order.
+func GaugeValues(points []telemetry.LPPoint, name string) []float64 {
+	pts := make([]telemetry.LPPoint, 0, len(points))
+	for _, p := range points {
+		if p.Name == name {
+			pts = append(pts, p)
+		}
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].TS < pts[j].TS })
+	vals := make([]float64, len(pts))
+	for i, p := range pts {
+		vals[i] = p.Fields["value"]
+	}
+	return vals
+}
+
+// ReserveAddrs picks n distinct free loopback addresses and releases
+// them, so a chaos schedule can name per-link rules before the processes
+// that will own the addresses exist. The window between release and
+// rebind is benign on loopback (nothing else races for the port).
+func ReserveAddrs(n int) ([]string, error) {
+	addrs := make([]string, 0, n)
+	lns := make([]net.Listener, 0, n)
+	defer func() {
+		for _, ln := range lns {
+			ln.Close() //nolint:errcheck // reservation release
+		}
+	}()
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		lns = append(lns, ln)
+		addrs = append(addrs, ln.Addr().String())
+	}
+	return addrs, nil
+}
+
 // Restart relaunches the node with the same flags, pinning the listen
 // address the previous incarnation bound (a ":0" flag is rewritten to the
 // concrete port), so it models a crashed daemon coming back on the same
@@ -226,7 +299,7 @@ func (p *ProcNode) Restart() error {
 		}
 	}
 	p.lines = nil
-	p.addr, p.nodeID = "", ""
+	p.addr, p.nodeID, p.telAddr = "", "", ""
 	p.mu.Unlock()
 	return p.start()
 }

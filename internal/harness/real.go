@@ -11,6 +11,22 @@ import (
 	"past/internal/seccrypt"
 )
 
+// ClusterOptions extend StartRealCluster for the chaos scenarios.
+type ClusterOptions struct {
+	// KeepAlive is the overlay keep-alive interval (failure detection
+	// cadence derives from it).
+	KeepAlive time.Duration
+	// ExtraArgs are appended to every node's flag list — how scenarios
+	// switch on -dial-via, -repair, -breaker-threshold, -telemetry, ...
+	ExtraArgs []string
+	// ListenAddrs, when non-empty, pins node i's listen address to
+	// ListenAddrs[i] instead of a kernel-picked port. Chaos schedules name
+	// links by address, so a scenario that wants per-link rules reserves
+	// addresses first (ReserveAddrs) and hands them to both the proxy
+	// schedule and the cluster.
+	ListenAddrs []string
+}
+
 // RealCluster is a set of pastnode processes on loopback sharing one
 // deterministic identity scheme with RunSim: broker det:(seed+1), node i
 // holding card DetRand(seed<<20+i+7) — so node i's nodeId equals
@@ -20,6 +36,7 @@ type RealCluster struct {
 	Dir       string
 	Nodes     []*ProcNode
 	KeepAlive time.Duration
+	Opts      ClusterOptions
 }
 
 // BrokerSeed returns the -broker-seed string all members share.
@@ -32,8 +49,12 @@ func cardSeed(seed int64, i int) uint64 { return uint64(seed)<<20 + uint64(i) + 
 // nodeArgs assembles the pastnode flags for node i. joinAddr empty means
 // -bootstrap (node 0).
 func (rc *RealCluster) nodeArgs(i int, joinAddr string) []string {
+	listen := "127.0.0.1:0"
+	if i < len(rc.Opts.ListenAddrs) {
+		listen = rc.Opts.ListenAddrs[i]
+	}
 	args := []string{
-		"-listen", "127.0.0.1:0",
+		"-listen", listen,
 		"-broker-seed", rc.BrokerSeed(),
 		"-id-seed", strconv.FormatUint(cardSeed(rc.Spec.Seed, i), 10),
 		"-data", filepath.Join(rc.Dir, fmt.Sprintf("n%d", i)),
@@ -44,6 +65,7 @@ func (rc *RealCluster) nodeArgs(i int, joinAddr string) []string {
 		"-anti-entropy", (2 * rc.KeepAlive).String(),
 		"-status", "300ms",
 	}
+	args = append(args, rc.Opts.ExtraArgs...)
 	if joinAddr == "" {
 		args = append(args, "-bootstrap")
 	} else {
@@ -56,7 +78,17 @@ func (rc *RealCluster) nodeArgs(i int, joinAddr string) []string {
 // bootstrap and joins the rest through it sequentially, then waits until
 // every member sees the full membership. Node logs go to dir/n<i>.log.
 func StartRealCluster(bin, dir string, spec *Spec, keepAlive time.Duration) (*RealCluster, error) {
-	rc := &RealCluster{Spec: spec, Dir: dir, KeepAlive: keepAlive}
+	return StartRealClusterOpts(bin, dir, spec, ClusterOptions{KeepAlive: keepAlive})
+}
+
+// StartRealClusterOpts is StartRealCluster with per-scenario options; the
+// chaos scenarios use it to interpose the fault proxy and switch on the
+// daemon's self-healing knobs.
+func StartRealClusterOpts(bin, dir string, spec *Spec, opts ClusterOptions) (*RealCluster, error) {
+	if opts.KeepAlive <= 0 {
+		opts.KeepAlive = 500 * time.Millisecond
+	}
+	rc := &RealCluster{Spec: spec, Dir: dir, KeepAlive: opts.KeepAlive, Opts: opts}
 	for i := 0; i < spec.Nodes; i++ {
 		joinAddr := ""
 		if i > 0 {
@@ -132,6 +164,14 @@ func (rc *RealCluster) StopAll() {
 // spec.Nodes, matching the simulator's client node) and joined through
 // node 0.
 func (rc *RealCluster) NewClient(opTimeout time.Duration) (*past.Peer, *past.Smartcard, error) {
+	return rc.NewClientOpts(opTimeout, nil)
+}
+
+// NewClientOpts is NewClient with a configuration hook: mutate (nil ok)
+// runs on the assembled PeerConfig before the peer starts, so chaos
+// scenarios can route the client through the fault proxy and arm its
+// retry/resend knobs without another constructor variant.
+func (rc *RealCluster) NewClientOpts(opTimeout time.Duration, mutate func(*past.PeerConfig)) (*past.Peer, *past.Smartcard, error) {
 	broker, err := past.DeriveBroker(rc.BrokerSeed())
 	if err != nil {
 		return nil, nil, err
@@ -144,19 +184,35 @@ func (rc *RealCluster) NewClient(opTimeout time.Duration) (*past.Peer, *past.Sma
 	scfg.K = rc.Spec.K
 	scfg.Capacity = 0
 	scfg.Caching = false
-	peer, err := past.ListenPeer(past.PeerConfig{
+	// Derive the per-attempt protocol timeout from opTimeout (the facade
+	// fills zero with it); a mutate hook that sets its own wins.
+	scfg.RequestTimeout = 0
+	pcfg := past.PeerConfig{
 		Card:      card,
 		BrokerPub: broker.PublicKey(),
 		Storage:   scfg,
 		KeepAlive: rc.KeepAlive,
 		OpTimeout: opTimeout,
-	})
+	}
+	if mutate != nil {
+		mutate(&pcfg)
+	}
+	peer, err := past.ListenPeer(pcfg)
 	if err != nil {
 		return nil, nil, err
 	}
-	if err := peer.JoinAny(rc.liveAddrs()); err != nil {
+	// A few join rounds with backoff: on a lossy chaos network the first
+	// attempt's handshake frames may simply vanish.
+	joinErr := fmt.Errorf("harness: no join attempt made")
+	for attempt, next := 0, 0; attempt < 5; attempt++ {
+		if next, joinErr = peer.JoinAnyFrom(rc.liveAddrs(), next); joinErr == nil {
+			break
+		}
+		time.Sleep(time.Duration(attempt+1) * 200 * time.Millisecond)
+	}
+	if joinErr != nil {
 		peer.Close()
-		return nil, nil, err
+		return nil, nil, joinErr
 	}
 	// Converge: the client must see all storage nodes, and they must all
 	// see the client, before placement is meaningful.

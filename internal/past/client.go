@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"sync"
 	"time"
 
 	"past/internal/id"
@@ -11,6 +12,27 @@ import (
 	"past/internal/transport"
 	"past/internal/wire"
 )
+
+// afterFunc schedules f after d and releases the timer handle once it has
+// fired. The handle is published under a mutex: with a real clock the
+// callback runs on its own goroutine and can fire before AfterFunc even
+// returns to the caller, so the callback must not read a bare captured
+// variable the caller is still assigning.
+func afterFunc(c transport.Clock, d time.Duration, f func()) {
+	var (
+		mu sync.Mutex
+		t  transport.Timer
+	)
+	mu.Lock()
+	t = c.AfterFunc(d, func() {
+		mu.Lock()
+		h := t
+		mu.Unlock()
+		h.Release()
+		f()
+	})
+	mu.Unlock()
+}
 
 // Client-operation errors.
 var (
@@ -263,6 +285,38 @@ func (n *Node) startInsertAttempt(card *seccrypt.Smartcard, name string, data []
 		Client: n.pn.Ref(),
 		ReqID:  reqID,
 	})
+	n.scheduleInsertResend(reqID, 1)
+}
+
+// scheduleInsertResend arms re-send number resend (1-based) of a pending
+// insert attempt: after one resend interval, if the attempt is still
+// pending and short of k receipts, the SAME InsertRequest — same
+// certificate, fileId and request id — is routed again. Holders that
+// already stored the file re-issue their receipts (handleReplicaStore is
+// idempotent) and clientCollectReceipt drops duplicates, so each re-send
+// only needs to cover the frames the network lost. See
+// Config.InsertResends; with the default 0 this is never armed.
+func (n *Node) scheduleInsertResend(reqID uint64, resend int) {
+	if n.cfg.InsertResends <= 0 || resend > n.cfg.InsertResends {
+		return
+	}
+	interval := n.cfg.RequestTimeout / time.Duration(n.cfg.InsertResends+1)
+	if interval <= 0 {
+		return
+	}
+	afterFunc(n.pn.Clock(), interval, func() {
+		n.mu.Lock()
+		op := n.pending[reqID]
+		if op == nil || op.kind != opInsert || len(op.receipts) >= op.k {
+			n.mu.Unlock()
+			return
+		}
+		req := wire.InsertRequest{Cert: op.cert, Data: op.data, Client: n.pn.Ref(), ReqID: reqID}
+		n.stats.InsertResends++
+		n.mu.Unlock()
+		n.pn.Route(req.Cert.FileID.Key(), req)
+		n.scheduleInsertResend(reqID, resend+1)
+	})
 }
 
 // clientCollectReceipt accumulates store receipts toward k. Only the
@@ -374,9 +428,7 @@ func (n *Node) finishInsert(reqID uint64, cause error) {
 	}
 	if n.cfg.FileDiversion && op.retries < n.cfg.MaxRetries {
 		if d := n.retryDelay(op.retries + 1); d > 0 {
-			var t transport.Timer
-			t = n.pn.Clock().AfterFunc(d, func() {
-				t.Release()
+			afterFunc(n.pn.Clock(), d, func() {
 				n.startInsertAttempt(op.card, op.name, op.data, op.k, op.retries+1, op.baseSalt, op.insertCB)
 			})
 			return
@@ -429,9 +481,7 @@ func (n *Node) scheduleLookupAttempt(fileID id.File, attempt int, cb func(Lookup
 		n.startLookupAttempt(fileID, attempt, cb)
 		return
 	}
-	var t transport.Timer
-	t = n.pn.Clock().AfterFunc(d, func() {
-		t.Release()
+	afterFunc(n.pn.Clock(), d, func() {
 		n.startLookupAttempt(fileID, attempt, cb)
 	})
 }

@@ -61,6 +61,18 @@ type Config struct {
 	// immediately. The same discipline paces insert's file-diversion
 	// retries.
 	RetryBackoff time.Duration
+	// InsertResends is the number of times an unacknowledged insert
+	// attempt re-routes the SAME request — same certificate, fileId and
+	// request id — spread evenly across RequestTimeout, while the attempt
+	// waits for its k receipts. Replica holders that already stored the
+	// file re-issue their receipts idempotently and the client ignores
+	// duplicates, so each re-send only has to survive the frames the
+	// network lost last time. This is the client-side retransmission that
+	// turns the transport's silent-loss semantics into usable round trips
+	// on lossy real networks (the 20%-loss chaos scenario); unlike a
+	// file-diversion retry it neither burns quota churn nor moves the
+	// fileId. Zero (the default) disables it and costs nothing.
+	InsertResends int
 	// HopBudget bounds overlay forwarding hops for lookups: a node asked
 	// to forward a lookup whose hop count has reached the budget aborts
 	// it back to the client (misroute containment) instead of forwarding

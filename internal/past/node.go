@@ -72,6 +72,9 @@ type Stats struct {
 	MisrouteDetections    int
 	RouteAborts           int
 	ForgedReceiptsDropped int
+	// InsertResends counts same-certificate insert retransmissions
+	// (Config.InsertResends) issued by this node as a client.
+	InsertResends int
 
 	// Replica-maintenance traffic sent by this node (anti-entropy digests
 	// and requests, plus Replicate bodies under either scheme).
@@ -344,6 +347,21 @@ func (n *Node) Maintain() {
 		return
 	}
 	n.mu.Unlock()
+	n.reReplicate()
+}
+
+// Sweep forces one anti-entropy repair round immediately, bypassing the
+// AntiEntropyEvery rate limit. Maintain (piggybacked on keep-alives) is
+// the steady-state path; Sweep is the operator/daemon trigger — the
+// pastnode repair task calls it on the real clock so a cluster healing
+// from a partition converges every file back to ≥ k replicas within one
+// repair period even if keep-alive traffic is still settling. No-op
+// under LegacyPushReplication, whose baseline semantics must not gain a
+// new push source.
+func (n *Node) Sweep() {
+	if n.cfg.LegacyPushReplication {
+		return
+	}
 	n.reReplicate()
 }
 
@@ -678,8 +696,11 @@ func (n *Node) serveLookup(r *wire.Routed, m wire.LookupRequest, midRoute bool) 
 			return true
 		}
 	}
-	if holder, ok := n.store.Pointer(m.FileID); ok {
-		// Replica was diverted: chase the pointer.
+	if holder, ok := n.store.Pointer(m.FileID); ok && n.pn.Reachable(holder) {
+		// Replica was diverted: chase the pointer. A pointer to a holder
+		// the failure detector knows is dead is NOT chased — the fetch
+		// would silently black-hole the whole lookup attempt — and the
+		// request keeps routing instead, so another replica can serve it.
 		n.mu.Lock()
 		n.stats.PointerFollowed++
 		n.mu.Unlock()

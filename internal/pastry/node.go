@@ -27,6 +27,13 @@ type Config struct {
 	// disables periodic probing (large simulations enable it only in
 	// churn experiments).
 	KeepAlive time.Duration
+	// LeafSync, when positive, exchanges leaf sets with one random known
+	// peer every LeafSync-th keep-alive tick: membership anti-entropy, so
+	// a node whose join-time state transfer was lossy still converges to
+	// full membership instead of being stuck with a partial view forever.
+	// Zero disables it — the default; recorded simulations never enable
+	// it, keeping their output byte-stable.
+	LeafSync int
 	// FailTimeout is the silence period T after which a leaf-set member
 	// is presumed failed (section 2.2, "Node addition and failure").
 	FailTimeout time.Duration
@@ -150,6 +157,7 @@ type Node struct {
 	// from the node itself clears the suspicion.
 	suspect  map[id.Node]time.Duration
 	kaTimer  transport.Timer
+	kaTicks  uint64
 	nonceSeq uint64
 }
 
@@ -249,9 +257,22 @@ func (n *Node) Bootstrap() {
 
 // Join initiates the join protocol of section 2.2 via a seed node ("a
 // nearby node A"). done is invoked exactly once, with nil on success.
+// Calling Join on a node that is already a member re-anchors it: the
+// seed's state is merged, arrival is re-announced, and existing
+// membership stays intact throughout — how a daemon on the small side of
+// a healed partition stitches itself back to the main component.
 func (n *Node) Join(seed string, done func(error)) {
 	n.mu.Lock()
 	n.alive = true
+	// A retry supersedes any still-armed attempt: stop the previous
+	// timeout first, or it would fire ErrJoinTimeout into the NEW
+	// attempt's callback and kill a join that was about to succeed (the
+	// daemon's re-bootstrap loop calls Join repeatedly with backoff).
+	if n.joinTimer != nil {
+		n.joinTimer.Stop()
+		n.joinTimer.Release()
+		n.joinTimer = nil
+	}
 	n.joinDone = done
 	n.joinSeen = make(map[id.Node]bool)
 	if n.cfg.JoinTimeout > 0 {
@@ -271,13 +292,15 @@ func (n *Node) joinTimedOut() {
 	n.mu.Lock()
 	done := n.joinDone
 	n.joinDone = nil
-	joined := n.joined
 	if n.joinTimer != nil {
 		n.joinTimer.Release() // fired; recycle the handle
 		n.joinTimer = nil
 	}
 	n.mu.Unlock()
-	if done != nil && !joined {
+	if done != nil {
+		// Even an already-joined node's re-anchor attempt must report its
+		// timeout, or the caller's retry loop stalls on a seed that never
+		// answered.
 		done(ErrJoinTimeout)
 	}
 }
@@ -319,7 +342,8 @@ func (n *Node) Rand() uint64 {
 
 // Reachable consults the transport-level failure detector (when
 // installed) so the application layer can avoid sending directly to dead
-// nodes; an unreachable peer is also purged from routing state.
+// nodes — e.g. chasing a diversion pointer to a partitioned holder; an
+// unreachable peer is also purged from routing state.
 func (n *Node) Reachable(ref wire.NodeRef) bool {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -783,7 +807,11 @@ func (n *Node) handleLeafSetReply(m wire.LeafSetReply) []func() {
 		n.sawNow(ref.ID)
 	}
 	var acts []func()
-	if m.Terminal && !n.joined {
+	// A Terminal reply completes whatever join attempt is pending — the
+	// first join of a fresh node or the re-anchor of a live one. Gating on
+	// the pending callback (not on n.joined) lets a partition survivor
+	// re-join through a seed and still get its completion.
+	if m.Terminal && n.joinDone != nil {
 		acts = append(acts, n.completeJoinLocked()...)
 	}
 	if changed {
@@ -870,6 +898,17 @@ func (n *Node) keepAliveTick() {
 	var acts []func()
 	for _, d := range dead {
 		acts = append(acts, n.declareDeadLocked(d)...)
+	}
+	n.kaTicks++
+	if n.cfg.LeafSync > 0 && n.kaTicks%uint64(n.cfg.LeafSync) == 0 {
+		// Membership anti-entropy: ask one random known peer for its leaf
+		// set. The reply folds its members into local state, so partial
+		// views (a join whose state transfer was lossy, a heal the
+		// announce fan-out missed) converge instead of persisting.
+		if cands := n.candidates(); len(cands) > 0 {
+			pick := cands[n.rand().Intn(len(cands))]
+			n.tr.Send(pick.Addr, wire.LeafSetRequest{From: n.ref})
+		}
 	}
 	if m, ok := n.app.(Maintainer); ok {
 		acts = append(acts, m.Maintain)

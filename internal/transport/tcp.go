@@ -8,7 +8,9 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"past/internal/wire"
@@ -34,6 +36,18 @@ type TCPOptions struct {
 	// before any allocation: a garbage or malicious length prefix cannot
 	// make the node allocate unbounded memory.
 	MaxFrame int
+	// DialVia, when set, routes every outbound connection through the
+	// egress proxy listening at this address instead of dialing peers
+	// directly: the transport connects to DialVia, announces the intended
+	// destination with a via preamble (see WriteViaPreamble), and waits
+	// for a one-byte ack meaning the proxy reached the target. The chaos
+	// harness uses this to interpose a deterministic fault injector
+	// between real nodes; empty (the default) dials peers directly.
+	DialVia string
+	// Breaker configures the per-peer dial circuit breaker. The zero
+	// value disables it entirely (every Send to an unconnected peer
+	// redials), preserving the pre-breaker behavior.
+	Breaker BreakerOptions
 }
 
 const (
@@ -41,37 +55,59 @@ const (
 	defaultMaxFrame    = 8 << 20
 )
 
+// TCPStats counts transport-level events since the transport started.
+type TCPStats struct {
+	// Dials and DialFailures count outbound connection attempts.
+	Dials, DialFailures int64
+	// Suppressed counts sends dropped without a dial because the peer's
+	// circuit breaker was open.
+	Suppressed int64
+	// BreakerOpens counts open transitions (including re-opens after a
+	// failed half-open probe).
+	BreakerOpens int64
+}
+
 // TCP is a transport.Transport over real TCP connections. One listener
 // accepts inbound peers; outbound connections are cached per destination.
 // Each frame travels as a 4-byte big-endian length prefix followed by a
 // self-contained gob encoding, so the reader can reject oversized frames
 // before allocating and detect truncation (a peer dying mid-frame) as a
 // short read rather than a corrupted stream. Send never blocks on the
-// network: each peer connection has a writer goroutine fed by a bounded
-// queue, and a full queue drops (UDP-like semantics, matching the
-// simulator).
+// network: dialing happens on a connector goroutine per peer (a slow or
+// dead destination never stalls sends to healthy ones), and each peer
+// connection has a writer goroutine fed by a bounded queue whose overflow
+// drops (UDP-like semantics, matching the simulator).
 type TCP struct {
 	addr        string
 	ln          net.Listener
 	dialTimeout time.Duration
 	maxFrame    int
+	dialVia     string
+	breaker     *breaker
 	handler     Handler
 	handlerM    sync.RWMutex
 
 	mu      sync.Mutex
 	peers   map[string]*tcpPeer
 	inbound map[net.Conn]bool
+	probes  map[string]*time.Timer
 	closed  bool
 
 	proxMu sync.Mutex
 	prox   map[string]float64
 
+	dials, dialFailures, suppressed atomic.Int64
+
 	wg sync.WaitGroup
 }
 
+// tcpPeer is one outbound destination: a bounded send queue plus a done
+// channel closed exactly once (by Close) to stop its writer. The entry is
+// installed in the peer map before the dial completes, so concurrent
+// senders share one connection attempt instead of racing to dial.
 type tcpPeer struct {
 	out  chan frame
-	conn net.Conn
+	done chan struct{}
 }
 
 // ListenTCP starts a transport listening on the given address
@@ -97,8 +133,11 @@ func ListenTCPOpts(listen string, opts TCPOptions) (*TCP, error) {
 		ln:          ln,
 		dialTimeout: opts.DialTimeout,
 		maxFrame:    opts.MaxFrame,
+		dialVia:     opts.DialVia,
+		breaker:     newBreaker(opts.Breaker),
 		peers:       make(map[string]*tcpPeer),
 		inbound:     make(map[net.Conn]bool),
+		probes:      make(map[string]*time.Timer),
 		prox:        make(map[string]float64),
 	}
 	t.wg.Add(1)
@@ -114,6 +153,27 @@ func (t *TCP) SetHandler(h Handler) {
 	t.handlerM.Lock()
 	t.handler = h
 	t.handlerM.Unlock()
+}
+
+// Reachable reports whether the dial circuit breaker would currently
+// admit traffic to addr. With the breaker disabled it is always true.
+// Installed as the overlay's reachability probe (pastry.Node.SetProbe),
+// it turns transport-level failure knowledge into routing decisions: a
+// peer whose breaker is open is routed around instead of timed out
+// against.
+func (t *TCP) Reachable(addr string) bool {
+	return t.breaker.Reachable(addr)
+}
+
+// Stats returns transport counters. The snapshot is approximate under
+// concurrency but each counter is individually exact.
+func (t *TCP) Stats() TCPStats {
+	return TCPStats{
+		Dials:        t.dials.Load(),
+		DialFailures: t.dialFailures.Load(),
+		Suppressed:   t.suppressed.Load(),
+		BreakerOpens: t.breaker.Opens(),
+	}
 }
 
 func (t *TCP) acceptLoop() {
@@ -161,16 +221,8 @@ func writeFrame(w io.Writer, buf *bytes.Buffer, f *frame, maxFrame int) error {
 // oversized announced length (before allocating), on truncation (peer
 // closed mid-frame), and on undecodable payload.
 func readFrame(r io.Reader, maxFrame int) (frame, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return frame{}, err
-	}
-	n := binary.BigEndian.Uint32(hdr[:])
-	if n == 0 || n > uint32(maxFrame) {
-		return frame{}, fmt.Errorf("transport: announced frame size %d outside (0, %d]", n, maxFrame)
-	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(r, payload); err != nil {
+	payload, err := ReadRawFrame(r, maxFrame)
+	if err != nil {
 		return frame{}, err
 	}
 	var f frame
@@ -178,6 +230,123 @@ func readFrame(r io.Reader, maxFrame int) (frame, error) {
 		return frame{}, err
 	}
 	return f, nil
+}
+
+// ReadRawFrame reads one length-prefixed frame and returns its payload
+// without decoding it. It errors on a zero or oversized announced length
+// before allocating, and on truncation. Exported for proxies (the chaos
+// fault injector) that must preserve frame boundaries without
+// understanding frame contents.
+func ReadRawFrame(r io.Reader, maxFrame int) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > uint32(maxFrame) {
+		return nil, fmt.Errorf("transport: announced frame size %d outside (0, %d]", n, maxFrame)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+// WriteRawFrame writes payload as one length-prefixed frame, the inverse
+// of ReadRawFrame.
+func WriteRawFrame(w io.Writer, payload []byte) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// Via preamble: the first line a transport writes after connecting to a
+// DialVia egress proxy, announcing who is dialing whom. The proxy answers
+// with a single ViaAck byte once the target connection is up; anything
+// else (or a closed connection) means the target is unreachable and the
+// dial fails, preserving direct-dial failure semantics through the proxy.
+const (
+	viaMagic = "CHAOS1"
+	// ViaAck is the byte the proxy writes once the target is connected.
+	ViaAck = '+'
+	// maxViaPreamble bounds the preamble line a proxy will read.
+	maxViaPreamble = 512
+)
+
+// WriteViaPreamble writes the "CHAOS1 <from> <to>\n" dial preamble.
+func WriteViaPreamble(w io.Writer, from, to string) error {
+	if strings.ContainsAny(from+to, " \n") {
+		return fmt.Errorf("transport: via preamble addresses must not contain spaces or newlines")
+	}
+	_, err := fmt.Fprintf(w, "%s %s %s\n", viaMagic, from, to)
+	return err
+}
+
+// ReadViaPreamble reads one dial preamble byte-by-byte (never consuming
+// past the newline, so the frame stream that follows stays intact) and
+// returns the announced (from, to) addresses.
+func ReadViaPreamble(r io.Reader) (from, to string, err error) {
+	var line []byte
+	var b [1]byte
+	for len(line) < maxViaPreamble {
+		if _, err := io.ReadFull(r, b[:]); err != nil {
+			return "", "", err
+		}
+		if b[0] == '\n' {
+			fields := strings.Fields(string(line))
+			if len(fields) != 3 || fields[0] != viaMagic {
+				return "", "", fmt.Errorf("transport: malformed via preamble %q", string(line))
+			}
+			return fields[1], fields[2], nil
+		}
+		line = append(line, b[0])
+	}
+	return "", "", fmt.Errorf("transport: via preamble exceeds %d bytes", maxViaPreamble)
+}
+
+// dial opens a connection to the peer at addr — directly, or through the
+// DialVia egress proxy with the preamble handshake. In both modes a
+// returned nil error means the destination (not just the proxy) accepted
+// the connection within the timeout.
+func (t *TCP) dial(addr string, timeout time.Duration) (net.Conn, error) {
+	t.dials.Add(1)
+	if t.dialVia == "" {
+		conn, err := net.DialTimeout("tcp", addr, timeout)
+		if err != nil {
+			t.dialFailures.Add(1)
+		}
+		return conn, err
+	}
+	conn, err := net.DialTimeout("tcp", t.dialVia, timeout)
+	if err != nil {
+		t.dialFailures.Add(1)
+		return nil, err
+	}
+	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+		conn.Close()
+		t.dialFailures.Add(1)
+		return nil, err
+	}
+	var ack [1]byte
+	if err := WriteViaPreamble(conn, t.addr, addr); err == nil {
+		_, err = io.ReadFull(conn, ack[:])
+	}
+	if err != nil || ack[0] != ViaAck {
+		conn.Close()
+		t.dialFailures.Add(1)
+		return nil, fmt.Errorf("transport: via %s: %s unreachable", t.dialVia, addr)
+	}
+	if err := conn.SetDeadline(time.Time{}); err != nil {
+		conn.Close()
+		t.dialFailures.Add(1)
+		return nil, err
+	}
+	return conn, nil
 }
 
 func (t *TCP) readLoop(conn net.Conn) {
@@ -204,7 +373,9 @@ func (t *TCP) readLoop(conn net.Conn) {
 
 // Send implements Transport. It connects lazily and enqueues the message;
 // when the peer's queue is full the message is dropped, matching the
-// unreliable-datagram semantics the protocol layer expects.
+// unreliable-datagram semantics the protocol layer expects. The dial
+// itself runs on a connector goroutine — Send never blocks on the
+// network, and concurrent senders to one new peer share a single attempt.
 func (t *TCP) Send(to string, m wire.Msg) error {
 	t.mu.Lock()
 	if t.closed {
@@ -213,47 +384,129 @@ func (t *TCP) Send(to string, m wire.Msg) error {
 	}
 	p, ok := t.peers[to]
 	if !ok {
-		conn, err := net.DialTimeout("tcp", to, t.dialTimeout)
-		if err != nil {
+		if !t.breaker.Allow(to, time.Now()) {
 			t.mu.Unlock()
-			return nil // unreachable peer: silent loss, like the simulator
+			t.suppressed.Add(1)
+			return nil // breaker open: drop without hammering the dead peer
 		}
-		p = &tcpPeer{out: make(chan frame, 256), conn: conn}
+		p = &tcpPeer{out: make(chan frame, 256), done: make(chan struct{})}
 		t.peers[to] = p
 		t.wg.Add(1)
-		go t.writeLoop(to, p)
+		go t.connect(to, p)
 	}
 	t.mu.Unlock()
 	select {
 	case p.out <- frame{From: t.addr, Msg: m}:
+	case <-p.done:
+		// Transport shut down while enqueueing.
 	default:
 		// Queue full: drop.
 	}
 	return nil
 }
 
-func (t *TCP) writeLoop(to string, p *tcpPeer) {
+// connect dials the peer and hands the connection to a writer; on failure
+// it informs the breaker and forgets the peer so queued frames are lost
+// (silent-loss semantics) and a later Send retries.
+func (t *TCP) connect(to string, p *tcpPeer) {
 	defer t.wg.Done()
-	defer p.conn.Close()
+	conn, err := t.dial(to, t.dialTimeout)
+	if err != nil {
+		t.breaker.Fail(to, time.Now())
+		t.scheduleProbe(to)
+		t.forget(to, p)
+		return
+	}
+	t.breaker.Success(to)
+	select {
+	case <-p.done:
+		conn.Close() //nolint:errcheck // transport closed mid-dial
+		return
+	default:
+	}
+	t.wg.Add(1)
+	go t.writeLoop(to, p, conn)
+}
+
+func (t *TCP) writeLoop(to string, p *tcpPeer, conn net.Conn) {
+	defer t.wg.Done()
+	defer conn.Close()
 	var buf bytes.Buffer
-	for f := range p.out {
-		if err := writeFrame(p.conn, &buf, &f, t.maxFrame); err != nil {
-			// Connection broke (or the frame was locally oversized):
-			// forget the peer so the next Send redials fresh.
-			t.mu.Lock()
-			if cur, ok := t.peers[to]; ok && cur == p {
-				delete(t.peers, to)
-			}
-			t.mu.Unlock()
+	for {
+		select {
+		case <-p.done:
 			return
+		case f := <-p.out:
+			if err := writeFrame(conn, &buf, &f, t.maxFrame); err != nil {
+				// Connection broke (or the frame was locally oversized):
+				// forget the peer so the next Send redials fresh.
+				t.forget(to, p)
+				return
+			}
 		}
 	}
+}
+
+// scheduleProbe arms the peer's half-open probe: when the breaker holds
+// the peer open, a timer fires at cooldown expiry and the transport dials
+// the peer itself. Routing treats an open peer as unreachable, so no user
+// traffic would otherwise ever test it — the probe is what reinstates a
+// healed peer ("probe before reinstating"). One pending probe per peer.
+func (t *TCP) scheduleProbe(to string) {
+	delay, open := t.breaker.NextProbe(to, time.Now())
+	if !open {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return
+	}
+	if _, pending := t.probes[to]; pending {
+		return
+	}
+	t.wg.Add(1)
+	t.probes[to] = time.AfterFunc(delay, func() { t.probePeer(to) })
+}
+
+// probePeer performs one half-open probe dial. Success fully reinstates
+// the peer (Reachable flips true, sends flow again); failure re-opens the
+// breaker with a doubled cooldown and re-arms the probe.
+func (t *TCP) probePeer(to string) {
+	defer t.wg.Done()
+	t.mu.Lock()
+	delete(t.probes, to)
+	closed := t.closed
+	t.mu.Unlock()
+	if closed || !t.breaker.Allow(to, time.Now()) {
+		return
+	}
+	conn, err := t.dial(to, t.dialTimeout)
+	if err != nil {
+		t.breaker.Fail(to, time.Now())
+		t.scheduleProbe(to)
+		return
+	}
+	t.breaker.Success(to)
+	conn.Close() //nolint:errcheck // liveness check only; real traffic redials
+}
+
+// forget removes p from the peer map if it is still the current entry for
+// to (a replacement dialed meanwhile must not be evicted).
+func (t *TCP) forget(to string, p *tcpPeer) {
+	t.mu.Lock()
+	if cur, ok := t.peers[to]; ok && cur == p {
+		delete(t.peers, to)
+	}
+	t.mu.Unlock()
 }
 
 // Proximity implements Transport: round-trip time to the peer, measured
 // once by TCP connect and cached. The scalar proximity metric of the
 // paper ("such as the number of IP hops, geographic distance...") maps to
-// RTT in a real deployment.
+// RTT in a real deployment. With DialVia set the measurement includes the
+// proxy's connect-time faults, so injected gray failures show up in the
+// metric exactly as real ones would.
 func (t *TCP) Proximity(to string) float64 {
 	t.proxMu.Lock()
 	if v, ok := t.prox[to]; ok {
@@ -262,7 +515,7 @@ func (t *TCP) Proximity(to string) float64 {
 	}
 	t.proxMu.Unlock()
 	start := time.Now()
-	conn, err := net.DialTimeout("tcp", to, 2*time.Second)
+	conn, err := t.dial(to, 2*time.Second)
 	if err != nil {
 		return 1e9
 	}
@@ -286,8 +539,14 @@ func (t *TCP) Close() error {
 	}
 	t.closed = true
 	for to, p := range t.peers {
-		close(p.out)
+		close(p.done)
 		delete(t.peers, to)
+	}
+	for to, timer := range t.probes {
+		if timer.Stop() {
+			t.wg.Done() // probe never ran; release its wg slot
+		}
+		delete(t.probes, to)
 	}
 	// Unblock inbound readers: their Decode returns once the conn closes.
 	for conn := range t.inbound {

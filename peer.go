@@ -1,6 +1,7 @@
 package past
 
 import (
+	"context"
 	"crypto/ed25519"
 	"fmt"
 	"time"
@@ -13,6 +14,13 @@ import (
 	"past/internal/transport"
 	"past/internal/wire"
 )
+
+// BreakerOptions configure the transport's per-peer dial circuit
+// breaker; the zero value disables it.
+type BreakerOptions = transport.BreakerOptions
+
+// TransportStats are the TCP transport's event counters.
+type TransportStats = transport.TCPStats
 
 // PeerConfig configures one real PAST node communicating over TCP.
 type PeerConfig struct {
@@ -36,12 +44,32 @@ type PeerConfig struct {
 	// KeepAlive and FailTimeout control failure detection; zero keeps the
 	// defaults (5s / 15s).
 	KeepAlive, FailTimeout time.Duration
+	// LeafSync, when positive, runs membership anti-entropy: every
+	// LeafSync-th keep-alive tick the node exchanges leaf sets with one
+	// random known peer, so partial membership views (lossy join, missed
+	// announce) converge. Zero disables it (the default).
+	LeafSync int
 	// OpTimeout bounds blocking client operations (default 30s).
 	OpTimeout time.Duration
+	// JoinTimeout bounds one Join attempt through one seed (default:
+	// OpTimeout). The daemon's re-bootstrap loop sets it well below
+	// OpTimeout so cycling through dead seeds is cheap.
+	JoinTimeout time.Duration
 	// DialTimeout and MaxFrame tune the TCP transport (zero = defaults:
 	// 3s dial, 8 MiB frame cap).
 	DialTimeout time.Duration
 	MaxFrame    int
+	// DialVia, when set, routes all outbound connections through the
+	// egress proxy at this address (see transport.TCPOptions.DialVia).
+	// The chaos harness interposes its deterministic fault injector this
+	// way; empty dials peers directly.
+	DialVia string
+	// Breaker configures the per-peer dial circuit breaker: after
+	// Breaker.Threshold consecutive dial failures to one peer, sends to
+	// it are suppressed for a growing cooldown and a single probe dial
+	// must succeed before the peer is reinstated. The zero value
+	// disables it (the default).
+	Breaker BreakerOptions
 	// Seed, when non-zero, fixes the node's internal randomness (protocol
 	// timers, route tie-breaks). Zero mixes wall-clock time so concurrent
 	// deployments differ; the conformance harness sets it to align the
@@ -71,9 +99,14 @@ func ListenPeer(cfg PeerConfig) (*Peer, error) {
 	if cfg.OpTimeout <= 0 {
 		cfg.OpTimeout = 30 * time.Second
 	}
+	if cfg.JoinTimeout <= 0 {
+		cfg.JoinTimeout = cfg.OpTimeout
+	}
 	tr, err := transport.ListenTCPOpts(cfg.Listen, transport.TCPOptions{
 		DialTimeout: cfg.DialTimeout,
 		MaxFrame:    cfg.MaxFrame,
+		DialVia:     cfg.DialVia,
+		Breaker:     cfg.Breaker,
 	})
 	if err != nil {
 		return nil, err
@@ -93,6 +126,8 @@ func ListenPeer(cfg PeerConfig) (*Peer, error) {
 	if cfg.FailTimeout > 0 {
 		pcfg.FailTimeout = cfg.FailTimeout
 	}
+	pcfg.LeafSync = cfg.LeafSync
+	pcfg.JoinTimeout = cfg.JoinTimeout
 	if cfg.Seed != 0 {
 		pcfg.Seed = cfg.Seed
 	} else {
@@ -101,11 +136,22 @@ func ListenPeer(cfg PeerConfig) (*Peer, error) {
 	scfg := cfg.Storage
 	if scfg.K == 0 {
 		scfg = DefaultStorageConfig()
+		scfg.RequestTimeout = cfg.OpTimeout
 	}
-	scfg.RequestTimeout = cfg.OpTimeout
+	// Per-attempt protocol timeout: an explicitly configured value wins,
+	// so a client on a lossy network can run many short attempts inside
+	// one blocking call; by default each attempt gets the whole OpTimeout.
+	if scfg.RequestTimeout <= 0 {
+		scfg.RequestTimeout = cfg.OpTimeout
+	}
 
 	clock := transport.NewRealClock()
 	node := pastry.New(pcfg, cfg.Card.NodeID(), tr, clock, nil)
+	// Feed transport-level failure knowledge back into routing: with the
+	// breaker enabled, peers it holds open are unreachable to nextHop,
+	// route diversity, and diversion-pointer chases. Disabled breaker =
+	// always-true probe, identical to not installing one.
+	node.SetProbe(tr.Reachable)
 	pn := pastcore.NewNode(scfg, node, cfg.Card, cfg.BrokerPub)
 	p := &Peer{cfg: cfg, tr: tr, node: node, past: pn}
 	if cfg.DataDir != "" {
@@ -140,14 +186,18 @@ func (p *Peer) Ref() NodeRef { return p.node.Ref() }
 func (p *Peer) Bootstrap() { p.node.Bootstrap() }
 
 // Join joins an existing network via the given seed address, blocking
-// until the state transfer completes.
+// until the state transfer completes. One attempt is bounded by
+// PeerConfig.JoinTimeout (default OpTimeout); a failed attempt leaves
+// the node cleanly re-joinable, so callers retry freely.
 func (p *Peer) Join(seed string) error {
 	errc := make(chan error, 1)
 	p.node.Join(seed, func(err error) { errc <- err })
 	select {
 	case err := <-errc:
 		return err
-	case <-time.After(p.cfg.OpTimeout):
+	case <-time.After(p.cfg.JoinTimeout + p.cfg.JoinTimeout/2):
+		// Backstop only: the node's own JoinTimeout normally fires first
+		// and delivers ErrJoinTimeout through errc.
 		return ErrTimeout
 	}
 }
@@ -156,11 +206,24 @@ func (p *Peer) Join(seed string) error {
 // successful join. It is one bootstrap round; callers wanting retry with
 // backoff (the daemon) wrap it in a run-until-success task.
 func (p *Peer) JoinAny(seeds []string) error {
+	_, err := p.JoinAnyFrom(seeds, 0)
+	return err
+}
+
+// JoinAnyFrom is JoinAny starting at index start%len(seeds), wrapping
+// around the full list. It returns the index after the seed that
+// answered (or after the last one tried), so a retry loop can rotate
+// through the seed list across bootstrap rounds instead of burning every
+// round's budget on the same dead first entry — the re-bootstrap
+// fallback of a daemon whose seeds are temporarily unreachable.
+func (p *Peer) JoinAnyFrom(seeds []string, start int) (next int, err error) {
 	if len(seeds) == 0 {
-		return fmt.Errorf("past: no bootstrap seeds")
+		return 0, fmt.Errorf("past: no bootstrap seeds")
 	}
 	var lastErr error
-	for _, s := range seeds {
+	for i := 0; i < len(seeds); i++ {
+		idx := (start + i) % len(seeds)
+		s := seeds[idx]
 		if s == "" {
 			continue
 		}
@@ -168,17 +231,26 @@ func (p *Peer) JoinAny(seeds []string) error {
 			lastErr = err
 			continue
 		}
-		return nil
+		return idx + 1, nil
 	}
 	if lastErr == nil {
 		lastErr = fmt.Errorf("past: no usable bootstrap seeds")
 	}
-	return lastErr
+	return start + len(seeds), lastErr
 }
 
 // Insert stores data under name with k replicas (0 = default), blocking
 // until the receipts arrive. card nil uses the peer's own card.
 func (p *Peer) Insert(card *Smartcard, name string, data []byte, k int) (InsertResult, error) {
+	return p.InsertCtx(context.Background(), card, name, data, k)
+}
+
+// InsertCtx is Insert bounded by ctx as well as the operation timeout:
+// cancelling ctx (or its deadline passing) abandons the wait immediately
+// and returns ctx's error. The underlying protocol attempt keeps running
+// until its own timeout and is cleaned up as usual — deadline
+// propagation bounds the caller, not the network.
+func (p *Peer) InsertCtx(ctx context.Context, card *Smartcard, name string, data []byte, k int) (InsertResult, error) {
 	if card == nil {
 		card = p.cfg.Card
 	}
@@ -187,6 +259,8 @@ func (p *Peer) Insert(card *Smartcard, name string, data []byte, k int) (InsertR
 	select {
 	case r := <-ch:
 		return r, r.Err
+	case <-ctx.Done():
+		return InsertResult{}, ctx.Err()
 	case <-time.After(4 * p.cfg.OpTimeout):
 		return InsertResult{}, ErrTimeout
 	}
@@ -197,6 +271,11 @@ func (p *Peer) Insert(card *Smartcard, name string, data []byte, k int) (InsertR
 // The conformance harness uses it to drive the identical workload through
 // the simulator and a real cluster and compare placement per fileId.
 func (p *Peer) InsertSalted(card *Smartcard, name string, data []byte, k int, salt []byte) (InsertResult, error) {
+	return p.InsertSaltedCtx(context.Background(), card, name, data, k, salt)
+}
+
+// InsertSaltedCtx is InsertSalted bounded by ctx (see InsertCtx).
+func (p *Peer) InsertSaltedCtx(ctx context.Context, card *Smartcard, name string, data []byte, k int, salt []byte) (InsertResult, error) {
 	if card == nil {
 		card = p.cfg.Card
 	}
@@ -205,6 +284,8 @@ func (p *Peer) InsertSalted(card *Smartcard, name string, data []byte, k int, sa
 	select {
 	case r := <-ch:
 		return r, r.Err
+	case <-ctx.Done():
+		return InsertResult{}, ctx.Err()
 	case <-time.After(4 * p.cfg.OpTimeout):
 		return InsertResult{}, ErrTimeout
 	}
@@ -212,11 +293,18 @@ func (p *Peer) InsertSalted(card *Smartcard, name string, data []byte, k int, sa
 
 // Lookup retrieves a file, blocking until the reply arrives.
 func (p *Peer) Lookup(f FileID) (LookupResult, error) {
+	return p.LookupCtx(context.Background(), f)
+}
+
+// LookupCtx is Lookup bounded by ctx (see InsertCtx).
+func (p *Peer) LookupCtx(ctx context.Context, f FileID) (LookupResult, error) {
 	ch := make(chan LookupResult, 1)
 	p.past.Lookup(f, func(r LookupResult) { ch <- r })
 	select {
 	case r := <-ch:
 		return r, r.Err
+	case <-ctx.Done():
+		return LookupResult{}, ctx.Err()
 	case <-time.After(2 * p.cfg.OpTimeout):
 		return LookupResult{}, ErrTimeout
 	}
@@ -225,6 +313,11 @@ func (p *Peer) Lookup(f FileID) (LookupResult, error) {
 // Reclaim frees a file's storage, blocking until receipts arrive or the
 // reclaim window closes. card nil uses the peer's own card.
 func (p *Peer) Reclaim(card *Smartcard, f FileID) (ReclaimResult, error) {
+	return p.ReclaimCtx(context.Background(), card, f)
+}
+
+// ReclaimCtx is Reclaim bounded by ctx (see InsertCtx).
+func (p *Peer) ReclaimCtx(ctx context.Context, card *Smartcard, f FileID) (ReclaimResult, error) {
 	if card == nil {
 		card = p.cfg.Card
 	}
@@ -233,10 +326,20 @@ func (p *Peer) Reclaim(card *Smartcard, f FileID) (ReclaimResult, error) {
 	select {
 	case r := <-ch:
 		return r, r.Err
+	case <-ctx.Done():
+		return ReclaimResult{}, ctx.Err()
 	case <-time.After(2 * p.cfg.OpTimeout):
 		return ReclaimResult{}, ErrTimeout
 	}
 }
+
+// Repair forces one anti-entropy repair round immediately, bypassing the
+// AntiEntropyEvery rate limit: this node re-offers digests of its files
+// to every replica-set peer, and missing replicas are fetched. The
+// daemon's periodic repair task calls it so a cluster healing from a
+// partition converges every file back to ≥ k disk replicas without
+// operator action.
+func (p *Peer) Repair() { p.past.Sweep() }
 
 // StoredFiles returns how many replicas this node currently stores.
 func (p *Peer) StoredFiles() int { return p.past.Store().Len() }
@@ -244,6 +347,10 @@ func (p *Peer) StoredFiles() int { return p.past.Store().Len() }
 // Stats returns this node's storage-layer counters (stores, lookups,
 // cache activity, maintenance traffic). The snapshot is consistent.
 func (p *Peer) Stats() NodeStats { return p.past.Stats() }
+
+// TransportStats returns the TCP transport's counters: dials, dial
+// failures, breaker opens, and sends suppressed by an open breaker.
+func (p *Peer) TransportStats() TransportStats { return p.tr.Stats() }
 
 // RegisterTelemetry registers this peer's series on rec: the storage
 // layer's per-window deltas plus stored_files and known_peers gauges.
